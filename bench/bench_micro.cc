@@ -1,0 +1,136 @@
+// Micro-benchmarks (google-benchmark) for the hot primitives under the
+// paper's experiments: SHA-256/HMAC, signatures, the binary codec, record
+// encoding, the simulator core, and an end-to-end local commit.
+#include <benchmark/benchmark.h>
+
+#include "common/codec.h"
+#include "common/crc32.h"
+#include "core/deployment.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "crypto/signer.h"
+
+namespace blockplane {
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  Bytes data(state.range(0), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256Digest(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(100000);
+
+void BM_HmacSha256(benchmark::State& state) {
+  Bytes key(32, 0x42);
+  Bytes data(state.range(0), 0xcd);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::HmacSha256(key, data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(1024);
+
+void BM_SignVerify(benchmark::State& state) {
+  crypto::KeyStore keys;
+  auto signer = keys.RegisterNode({0, 0});
+  Bytes msg(256, 0x11);
+  for (auto _ : state) {
+    crypto::Signature sig = signer->Sign(msg);
+    benchmark::DoNotOptimize(keys.Verify(msg, sig));
+  }
+}
+BENCHMARK(BM_SignVerify);
+
+void BM_Crc32(benchmark::State& state) {
+  Bytes data(state.range(0), 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(1024)->Arg(100000);
+
+void BM_CodecRoundTrip(benchmark::State& state) {
+  Bytes payload(state.range(0), 0x3c);
+  for (auto _ : state) {
+    Encoder enc;
+    enc.PutU64(42);
+    enc.PutVarint(123456);
+    enc.PutBytes(payload);
+    Bytes wire = enc.Take();
+    Decoder dec(wire);
+    uint64_t fixed = 0;
+    uint64_t varint = 0;
+    Bytes out;
+    benchmark::DoNotOptimize(dec.GetU64(&fixed));
+    benchmark::DoNotOptimize(dec.GetVarint(&varint));
+    benchmark::DoNotOptimize(dec.GetBytes(&out));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CodecRoundTrip)->Arg(1024)->Arg(100000);
+
+void BM_RecordEncodeDecode(benchmark::State& state) {
+  core::LogRecord record;
+  record.type = core::RecordType::kReceived;
+  record.routine_id = 7;
+  record.payload = Bytes(1024, 0x77);
+  record.dest_site = 1;
+  record.src_site = 0;
+  record.src_log_pos = 42;
+  record.prev_src_log_pos = 40;
+  for (auto _ : state) {
+    Bytes wire = record.Encode();
+    core::LogRecord out;
+    benchmark::DoNotOptimize(core::LogRecord::Decode(wire, &out));
+  }
+}
+BENCHMARK(BM_RecordEncodeDecode);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator(1);
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      simulator.Schedule(i, [&fired]() { ++fired; });
+    }
+    simulator.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_LocalCommitEndToEnd(benchmark::State& state) {
+  // Wall-clock cost of simulating one full PBFT local commit (the unit of
+  // work behind Fig. 4): useful for spotting regressions in the hot path.
+  sim::Simulator simulator(1);
+  core::BlockplaneOptions options;
+  options.sign_messages = state.range(0) != 0;
+  options.hash_payloads = state.range(0) != 0;
+  options.checkpoint_interval = 8;
+  options.prune_applied_log = 8;
+  core::Deployment deployment(&simulator, net::Topology::SingleSite(),
+                              options);
+  Bytes batch(1000, 0x99);
+  for (auto _ : state) {
+    bool done = false;
+    deployment.participant(0)->LogCommit(Bytes(batch), 0,
+                                         [&](uint64_t) { done = true; });
+    simulator.RunUntilCondition([&] { return done; },
+                                simulator.Now() + sim::Seconds(10));
+  }
+  state.SetLabel(state.range(0) ? "with-crypto" : "paper-mode");
+}
+BENCHMARK(BM_LocalCommitEndToEnd)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace blockplane
+
+BENCHMARK_MAIN();

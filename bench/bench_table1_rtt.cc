@@ -1,0 +1,90 @@
+// Table I: average round-trip times between the four datacenters
+// (California, Oregon, Virginia, Ireland), measured through the simulated
+// network with application-level pings.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "net/network.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace blockplane {
+namespace {
+
+/// Echoes every ping straight back.
+class Responder : public net::Host {
+ public:
+  explicit Responder(net::Network* network) : network_(network) {}
+  void HandleMessage(const net::Message& msg) override {
+    if (msg.type != 1) return;
+    net::Message pong = msg;
+    pong.src = msg.dst;
+    pong.dst = msg.src;
+    pong.type = 2;
+    network_->Send(std::move(pong));
+  }
+
+ private:
+  net::Network* network_;
+};
+
+class Pinger : public net::Host {
+ public:
+  void HandleMessage(const net::Message& msg) override {
+    if (msg.type == 2) received = true;
+  }
+  bool received = false;
+};
+
+double MeasureRtt(net::SiteId a, net::SiteId b, int rounds) {
+  sim::Simulator simulator(1);
+  net::NetworkOptions options;
+  options.per_message_cpu = 0;
+  net::Network network(&simulator, net::Topology::Aws4(), options);
+  Responder responder(&network);
+  Pinger pinger;
+  network.Register({b, 0}, &responder);
+  network.Register({a, 0}, &pinger);
+
+  Histogram rtt_ms;
+  for (int i = 0; i < rounds; ++i) {
+    pinger.received = false;
+    sim::SimTime start = simulator.Now();
+    net::Message ping;
+    ping.src = {a, 0};
+    ping.dst = {b, 0};
+    ping.type = 1;
+    network.Send(ping);
+    simulator.RunUntilCondition([&] { return pinger.received; },
+                                simulator.Now() + sim::Seconds(5));
+    rtt_ms.Add(sim::ToMillis(simulator.Now() - start));
+  }
+  return rtt_ms.Mean();
+}
+
+}  // namespace
+}  // namespace blockplane
+
+int main() {
+  using namespace blockplane;
+  bench::PrintHeader(
+      "Table I: average RTTs (ms) between the four datacenters",
+      "C-O 19, C-V 61, C-I 130, O-V 79, O-I 132, V-I 70");
+
+  net::Topology topo = net::Topology::Aws4();
+  std::printf("%12s", "");
+  for (int b = 0; b < topo.num_sites(); ++b) {
+    std::printf("%12.1s", topo.site_name(b).c_str());
+  }
+  std::printf("\n");
+  for (int a = 0; a < topo.num_sites(); ++a) {
+    std::printf("%12.1s", topo.site_name(a).c_str());
+    for (int b = 0; b < topo.num_sites(); ++b) {
+      double rtt = a == b ? 0.0 : MeasureRtt(a, b, 20);
+      std::printf("%12.1f", rtt);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

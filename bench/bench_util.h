@@ -1,0 +1,43 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+#ifndef BLOCKPLANE_BENCH_BENCH_UTIL_H_
+#define BLOCKPLANE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/metrics.h"
+#include "sim/sim_time.h"
+
+namespace blockplane::bench {
+
+/// Prints a banner identifying which table/figure a binary reproduces.
+inline void PrintHeader(const std::string& experiment,
+                        const std::string& paper_summary) {
+  std::printf("=================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("  paper: %s\n", paper_summary.c_str());
+  std::printf("=================================================================\n");
+}
+
+/// Prints one aligned row of a results table.
+template <typename... Args>
+void Row(const char* format, Args... args) {
+  std::printf(format, args...);
+  std::printf("\n");
+}
+
+/// A payload of `kilobytes` KB of deterministic filler ("an arbitrary set
+/// of commands", per the paper's workload).
+inline Bytes MakeBatch(size_t kilobytes) {
+  Bytes batch(kilobytes * 1000);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch[i] = static_cast<uint8_t>(i * 31 + 7);
+  }
+  return batch;
+}
+
+}  // namespace blockplane::bench
+
+#endif  // BLOCKPLANE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,75 @@
+// Global consensus byzantized with Blockplane (§VI-E): the paxos protocol
+// of Algorithm 3, where every state change is log-committed and every
+// cross-datacenter message travels through send/receive.
+//
+// The example elects a leader, replicates a few commands, and compares the
+// observed replication latency against the benign paxos expectation (one
+// RTT to the closest majority) — the core claim of Fig. 7: byzantine
+// fault tolerance at nearly benign-protocol latency.
+//
+//   $ ./global_consensus
+#include <cstdio>
+
+#include "core/deployment.h"
+#include "protocols/bp_paxos.h"
+
+using namespace blockplane;
+
+int main() {
+  sim::Simulator simulator(42);
+  core::BlockplaneOptions options;
+  core::Deployment deployment(&simulator, net::Topology::Aws4(), options);
+  protocols::BpPaxos paxos(&deployment);
+
+  std::printf("Blockplane-paxos: byzantized global consensus over 4 "
+              "datacenters\n\n");
+
+  // Algorithm 3, Leader Election routine at Virginia.
+  bool elected = false;
+  paxos.LeaderElection(net::kVirginia, [&](bool won) { elected = won; });
+  simulator.RunUntilCondition([&] { return elected; }, sim::Seconds(60));
+  if (!elected) {
+    std::printf("leader election failed\n");
+    return 1;
+  }
+  std::printf("Virginia won the leader election (t=%.1f ms)\n\n",
+              sim::ToMillis(simulator.Now()));
+
+  // Algorithm 3, Replication routine: commit three commands.
+  net::Topology topo = net::Topology::Aws4();
+  double majority_rtt = sim::ToMillis(topo.RttToKthClosest(net::kVirginia, 2));
+  for (int i = 0; i < 3; ++i) {
+    bool committed = false;
+    sim::SimTime start = simulator.Now();
+    paxos.Replicate(net::kVirginia,
+                    ToBytes("command-" + std::to_string(i)),
+                    [&](bool ok) { committed = ok; });
+    simulator.RunUntilCondition([&] { return committed; }, sim::Seconds(60));
+    double ms = sim::ToMillis(simulator.Now() - start);
+    std::printf("replicated command-%d in %.1f ms "
+                "(benign paxos needs ~%.0f ms; overhead %.0f%%)\n",
+                i, ms, majority_rtt, (ms - majority_rtt) / majority_rtt * 100);
+  }
+
+  // Decisions disseminate to every participant.
+  simulator.RunUntilCondition(
+      [&] {
+        for (int site = 0; site < 4; ++site) {
+          if (paxos.decided(site).size() != 3) return false;
+        }
+        return true;
+      },
+      sim::Seconds(120));
+
+  std::printf("\ndecided log at each participant:\n");
+  for (int site = 0; site < 4; ++site) {
+    std::printf("  %-10s :", topo.site_name(site).c_str());
+    for (const auto& [slot, value] : paxos.decided(site)) {
+      std::printf(" [%lu]=%s", static_cast<unsigned long>(slot),
+                  ToString(value).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\nOK\n");
+  return 0;
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, regenerates every paper
+# table/figure, and runs the examples. Outputs land in test_output.txt and
+# bench_output.txt at the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
+
+for e in build/examples/*; do
+  case "$e" in
+    *CMake*|*cmake*) continue ;;
+  esac
+  echo "===== $(basename "$e")"
+  "$e"
+done

@@ -1,0 +1,16 @@
+#include "common/bytes.h"
+
+namespace blockplane {
+
+std::string HexEncode(const uint8_t* data, size_t len) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(len * 2);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kHex[data[i] >> 4]);
+    out.push_back(kHex[data[i] & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace blockplane

@@ -1,0 +1,33 @@
+// Byte-buffer helpers shared across the library.
+#ifndef BLOCKPLANE_COMMON_BYTES_H_
+#define BLOCKPLANE_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace blockplane {
+
+/// Owned byte string. Payloads, digests, and wire messages use this type.
+using Bytes = std::vector<uint8_t>;
+
+/// Builds a Bytes from a string literal / std::string contents.
+inline Bytes ToBytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Interprets a Bytes as text (useful for tests and examples).
+inline std::string ToString(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+/// Lowercase hex encoding.
+std::string HexEncode(const uint8_t* data, size_t len);
+inline std::string HexEncode(const Bytes& b) {
+  return HexEncode(b.data(), b.size());
+}
+
+}  // namespace blockplane
+
+#endif  // BLOCKPLANE_COMMON_BYTES_H_

@@ -1,0 +1,81 @@
+#include "common/codec.h"
+
+namespace blockplane {
+
+void Encoder::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<uint8_t>(v));
+}
+
+void Encoder::PutBytes(const Bytes& b) {
+  PutVarint(b.size());
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+void Encoder::PutString(std::string_view s) {
+  PutVarint(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void Encoder::PutRaw(const uint8_t* data, size_t len) {
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+Status Decoder::GetU8(uint8_t* out) {
+  if (remaining() < 1) return Status::Corruption("decoder underflow");
+  *out = data_[pos_++];
+  return Status::OK();
+}
+
+Status Decoder::GetI64(int64_t* out) {
+  uint64_t v = 0;
+  BP_RETURN_NOT_OK(GetU64(&v));
+  *out = static_cast<int64_t>(v);
+  return Status::OK();
+}
+
+Status Decoder::GetBool(bool* out) {
+  uint8_t v;
+  BP_RETURN_NOT_OK(GetU8(&v));
+  if (v > 1) return Status::Corruption("invalid bool encoding");
+  *out = (v == 1);
+  return Status::OK();
+}
+
+Status Decoder::GetVarint(uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (remaining() < 1) return Status::Corruption("varint underflow");
+    if (shift >= 64) return Status::Corruption("varint overflow");
+    uint8_t byte = data_[pos_++];
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status Decoder::GetBytes(Bytes* out) {
+  uint64_t len;
+  BP_RETURN_NOT_OK(GetVarint(&len));
+  if (remaining() < len) return Status::Corruption("bytes underflow");
+  out->assign(data_ + pos_, data_ + pos_ + len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status Decoder::GetString(std::string* out) {
+  uint64_t len;
+  BP_RETURN_NOT_OK(GetVarint(&len));
+  if (remaining() < len) return Status::Corruption("string underflow");
+  out->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return Status::OK();
+}
+
+}  // namespace blockplane

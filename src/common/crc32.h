@@ -1,0 +1,18 @@
+// CRC-32 (IEEE 802.3 polynomial), used by the reliable transport to detect
+// in-flight corruption the way TCP checksums would.
+#ifndef BLOCKPLANE_COMMON_CRC32_H_
+#define BLOCKPLANE_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace blockplane {
+
+uint32_t Crc32(const uint8_t* data, size_t len);
+inline uint32_t Crc32(const Bytes& b) { return Crc32(b.data(), b.size()); }
+
+}  // namespace blockplane
+
+#endif  // BLOCKPLANE_COMMON_CRC32_H_

@@ -1,0 +1,66 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace blockplane {
+
+void Histogram::Add(double value) {
+  samples_.push_back(value);
+  sorted_ = false;
+}
+
+void Histogram::Clear() {
+  samples_.clear();
+  sorted_ = true;
+}
+
+void Histogram::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::Mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : samples_) sum += v;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Histogram::Min() const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  return samples_.front();
+}
+
+double Histogram::Max() const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  return samples_.back();
+}
+
+double Histogram::Stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  double mean = Mean();
+  double acc = 0.0;
+  for (double v : samples_) acc += (v - mean) * (v - mean);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Histogram::Percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  BP_CHECK(p >= 0.0 && p <= 100.0);
+  EnsureSorted();
+  if (p <= 0.0) return samples_.front();
+  size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
+  if (rank == 0) rank = 1;
+  return samples_[rank - 1];
+}
+
+}  // namespace blockplane

@@ -1,0 +1,73 @@
+// Measurement helpers used by the benchmark harness and tests: latency
+// histograms with percentiles, simple counters, and time-series recorders
+// for the failure-timeline experiments (Fig. 8).
+#ifndef BLOCKPLANE_COMMON_METRICS_H_
+#define BLOCKPLANE_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace blockplane {
+
+/// Collects double-valued samples (typically latencies in milliseconds) and
+/// reports summary statistics.
+class Histogram {
+ public:
+  void Add(double value);
+  void Clear();
+
+  size_t count() const { return samples_.size(); }
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  double Stddev() const;
+  /// p in [0, 100]; nearest-rank on sorted samples.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  void EnsureSorted() const;
+};
+
+/// Ordered (x, y) series, e.g. (batch number, latency ms) for Fig. 8.
+class TimeSeries {
+ public:
+  void Add(double x, double y) { points_.push_back({x, y}); }
+  struct Point {
+    double x;
+    double y;
+  };
+  const std::vector<Point>& points() const { return points_; }
+  void Clear() { points_.clear(); }
+
+ private:
+  std::vector<Point> points_;
+};
+
+/// Named counters, useful for asserting message complexity in tests
+/// (e.g. "wide-area messages sent").
+class CounterSet {
+ public:
+  void Increment(const std::string& name, int64_t delta = 1) {
+    counters_[name] += delta;
+  }
+  int64_t Get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  void Clear() { counters_.clear(); }
+  const std::map<std::string, int64_t>& all() const { return counters_; }
+
+ private:
+  std::map<std::string, int64_t> counters_;
+};
+
+}  // namespace blockplane
+
+#endif  // BLOCKPLANE_COMMON_METRICS_H_

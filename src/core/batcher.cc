@@ -1,0 +1,90 @@
+#include "core/batcher.h"
+
+namespace blockplane::core {
+
+Batcher::Batcher(Participant* participant, sim::Simulator* simulator,
+                 Options options, uint64_t routine_id)
+    : participant_(participant),
+      sim_(simulator),
+      options_(options),
+      routine_id_(routine_id) {}
+
+Batcher::~Batcher() { sim_->Cancel(delay_timer_); }
+
+Bytes Batcher::EncodeBatch(const std::vector<Bytes>& ops) {
+  Encoder enc;
+  enc.PutVarint(ops.size());
+  for (const Bytes& op : ops) enc.PutBytes(op);
+  return enc.Take();
+}
+
+Status Batcher::DecodeBatch(const Bytes& payload, std::vector<Bytes>* ops) {
+  Decoder dec(payload);
+  uint64_t count = 0;
+  BP_RETURN_NOT_OK(dec.GetVarint(&count));
+  if (count > 1000000) return Status::Corruption("oversized batch");
+  ops->clear();
+  ops->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Bytes op;
+    BP_RETURN_NOT_OK(dec.GetBytes(&op));
+    ops->push_back(std::move(op));
+  }
+  if (!dec.AtEnd()) return Status::Corruption("trailing batch bytes");
+  return Status::OK();
+}
+
+void Batcher::Add(Bytes op, OpCallback done) {
+  pending_bytes_ += op.size();
+  pending_.push_back(PendingOp{std::move(op), std::move(done)});
+  if (pending_.size() == 1 && options_.max_delay > 0) {
+    delay_timer_ = sim_->Schedule(options_.max_delay, [this]() {
+      delay_timer_ = sim::kInvalidEventId;
+      MaybeFlush();
+    });
+  }
+  if (pending_bytes_ >= options_.max_batch_bytes ||
+      pending_.size() >= options_.max_ops) {
+    MaybeFlush();
+  }
+}
+
+void Batcher::Flush() { MaybeFlush(); }
+
+void Batcher::MaybeFlush() {
+  // Group commit: one batch at a time; the rest waits its turn.
+  if (batch_in_flight_ || pending_.empty()) return;
+  CommitBatch();
+}
+
+void Batcher::CommitBatch() {
+  batch_in_flight_ = true;
+  sim_->Cancel(delay_timer_);
+  delay_timer_ = sim::kInvalidEventId;
+
+  // Submission order is preserved, which preserves any dependency order.
+  size_t take = std::min(pending_.size(), options_.max_ops);
+  std::vector<Bytes> ops;
+  std::vector<OpCallback> callbacks;
+  ops.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    ops.push_back(std::move(pending_.front().op));
+    callbacks.push_back(std::move(pending_.front().done));
+    pending_bytes_ -= ops.back().size();
+    pending_.pop_front();
+  }
+
+  participant_->LogCommit(
+      EncodeBatch(ops), routine_id_,
+      [this, callbacks = std::move(callbacks)](uint64_t pos) {
+        ++batches_committed_;
+        ops_committed_ += callbacks.size();
+        for (size_t i = 0; i < callbacks.size(); ++i) {
+          if (callbacks[i]) callbacks[i](pos, static_cast<uint32_t>(i));
+        }
+        batch_in_flight_ = false;
+        MaybeFlush();
+      });
+}
+
+}  // namespace blockplane::core

@@ -1,0 +1,21 @@
+// Umbrella header: everything a Blockplane user needs.
+//
+//   #include "core/blockplane.h"
+//
+//   sim::Simulator simulator;
+//   core::Deployment deployment(&simulator, net::Topology::Aws4(), {});
+//   deployment.participant(net::kCalifornia)->LogCommit(...);
+//
+// See README.md for the programming model and examples/ for full programs.
+#ifndef BLOCKPLANE_CORE_BLOCKPLANE_H_
+#define BLOCKPLANE_CORE_BLOCKPLANE_H_
+
+#include "core/batcher.h"      // batching & group commit (§VI-C)
+#include "core/deployment.h"   // builds units, mirrors, daemons, participants
+#include "core/options.h"      // f_i, f_g, timeouts, bench switches
+#include "core/participant.h"  // log-commit / read / send / receive (§III)
+#include "core/record.h"       // Local Log records & transmission records
+#include "net/topology.h"      // the wide-area RTT model (Table I)
+#include "sim/simulator.h"     // the deterministic clock everything runs on
+
+#endif  // BLOCKPLANE_CORE_BLOCKPLANE_H_

@@ -1,0 +1,260 @@
+#include "core/comm_daemon.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/node.h"
+#include "core/wire.h"
+
+namespace blockplane::core {
+
+CommDaemon::CommDaemon(BlockplaneNode* host, net::SiteId dest, bool reserve)
+    : host_(host), dest_(dest), active_(!reserve) {
+  if (reserve) PollReceiver();
+}
+
+CommDaemon::~CommDaemon() {
+  sim::Simulator* simulator = host_->network()->simulator();
+  for (auto& [pos, flight] : flights_) {
+    simulator->Cancel(flight.retransmit_timer);
+  }
+  simulator->Cancel(poll_timer_);
+}
+
+void CommDaemon::NotifyLogAppend() { PumpPipeline(); }
+
+void CommDaemon::OnMessage(const net::Message& msg) {
+  switch (msg.type) {
+    case kTransmissionAck:
+      OnTransmissionAck(msg);
+      break;
+    case kAttestResponse:
+      OnAttestResponse(msg);
+      break;
+    case kRecvStatusReply:
+      OnRecvStatusReply(msg);
+      break;
+    default:
+      break;
+  }
+}
+
+void CommDaemon::PumpPipeline() {
+  if (!active_) return;
+  // Algorithm 2's scan, resumed from the send cursor, windowed.
+  auto comm_it = host_->comm_positions_.find(dest_);
+  if (comm_it == host_->comm_positions_.end()) return;
+  const std::vector<uint64_t>& positions = comm_it->second;
+
+  for (auto pos_it = std::upper_bound(positions.begin(), positions.end(),
+                                      std::max(next_send_pos_, acked_pos_));
+       pos_it != positions.end() && flights_.size() < host_->options_.daemon_window; ++pos_it) {
+    uint64_t pos = *pos_it;
+    const LogRecord& record = host_->log_.at(pos);
+
+    // With geo-correlated tolerance, transmissions must carry the mirror
+    // proofs; wait until the participant bundles them (§V).
+    std::vector<crypto::Signature> geo_proof;
+    if (host_->options_.fg > 0) {
+      auto proof_it = host_->geo_proofs_.find(pos);
+      if (proof_it == host_->geo_proofs_.end()) break;  // keep order
+      geo_proof = proof_it->second;
+    }
+
+    Flight& flight = flights_[pos];
+    flight.record.src_site = host_->origin_site();
+    flight.record.dest_site = dest_;
+    flight.record.src_log_pos = pos;
+    flight.record.prev_src_log_pos =
+        pos_it == positions.begin() ? 0 : *(pos_it - 1);
+    flight.record.routine_id = record.routine_id;
+    flight.record.payload = record.payload;
+    flight.record.geo_pos = record.geo_pos;
+    flight.record.geo_proof = std::move(geo_proof);
+    next_send_pos_ = pos;
+
+    // Collect f_i+1 signatures for the validity of P from local nodes
+    // (our own plus f_i others).
+    crypto::Digest digest = flight.record.ContentDigest();
+    flight.record.sigs.push_back(host_->signer_->Sign(
+        AttestCanonical(AttestPurpose::kTransmission, flight.record.src_site,
+                        pos, digest)));
+    if (static_cast<int>(flight.record.sigs.size()) >=
+        host_->options_.fi + 1) {
+      flight.sigs_complete = true;
+      Transmit(flight, /*widen=*/false);
+    } else {
+      RequestAttestations(pos);
+    }
+    ArmRetransmit(pos);
+  }
+}
+
+void CommDaemon::RequestAttestations(uint64_t pos) {
+  AttestRequestMsg request;
+  request.purpose = AttestPurpose::kTransmission;
+  request.pos = pos;
+  request.dest_site = dest_;
+  Bytes encoded = request.Encode();
+  for (const net::NodeId& peer : host_->replica()->config().nodes) {
+    if (peer == host_->self()) continue;
+    host_->SendTo(peer, kAttestRequest, Bytes(encoded));
+  }
+}
+
+void CommDaemon::OnAttestResponse(const net::Message& msg) {
+  AttestResponseMsg response;
+  if (!AttestResponseMsg::Decode(msg.payload, &response).ok()) return;
+  if (response.purpose != AttestPurpose::kTransmission) return;
+  auto it = flights_.find(response.pos);
+  if (it == flights_.end() || it->second.sigs_complete) return;
+  Flight& flight = it->second;
+  if (response.sig.signer != msg.src) return;
+  if (host_->options_.sign_messages) {
+    Bytes canonical = AttestCanonical(
+        AttestPurpose::kTransmission, flight.record.src_site,
+        flight.record.src_log_pos, flight.record.ContentDigest());
+    if (!host_->keys()->Verify(canonical, response.sig)) return;
+  }
+  for (const crypto::Signature& sig : flight.record.sigs) {
+    if (sig.signer == response.sig.signer) return;  // duplicate
+  }
+  flight.record.sigs.push_back(response.sig);
+  if (static_cast<int>(flight.record.sigs.size()) < host_->options_.fi + 1) {
+    return;
+  }
+  flight.sigs_complete = true;
+  Transmit(flight, /*widen=*/false);
+}
+
+void CommDaemon::Transmit(Flight& flight, bool widen) {
+  if (muted_) return;  // byzantine: pretends to send
+  // Send P and the f_i+1 signatures to Blockplane nodes in the destination.
+  // Initially f_i+1 receivers suffice; retransmissions widen to the whole
+  // unit in case some of the first picks are faulty.
+  int receivers = widen ? 3 * host_->options_.fi + 1 : host_->options_.fi + 1;
+  Bytes encoded = flight.record.Encode();
+  for (int i = 0; i < receivers; ++i) {
+    host_->SendTo(net::NodeId{dest_, i}, kTransmission, Bytes(encoded));
+  }
+}
+
+void CommDaemon::ArmRetransmit(uint64_t pos) {
+  sim::Simulator* simulator = host_->network()->simulator();
+  auto it = flights_.find(pos);
+  if (it == flights_.end()) return;
+  it->second.retransmit_timer = simulator->Schedule(
+      host_->options_.transmission_retry, [this, pos]() {
+        auto flight_it = flights_.find(pos);
+        if (flight_it == flights_.end()) return;
+        Flight& flight = flight_it->second;
+        flight.retransmit_timer = sim::kInvalidEventId;
+        if (flight.sigs_complete) {
+          Transmit(flight, /*widen=*/true);
+        } else {
+          RequestAttestations(pos);
+        }
+        ArmRetransmit(pos);
+      });
+}
+
+void CommDaemon::OnTransmissionAck(const net::Message& msg) {
+  TransmissionAckMsg ack;
+  if (!TransmissionAckMsg::Decode(msg.payload, &ack).ok()) return;
+  if (msg.src.site != dest_) return;
+  auto it = flights_.find(ack.src_log_pos);
+  if (it == flights_.end()) return;
+  Flight& flight = it->second;
+  flight.ack_senders.insert(msg.src);
+  if (static_cast<int>(flight.ack_senders.size()) < host_->options_.fi + 1) {
+    return;
+  }
+  // f_i+1 destination nodes confirmed the commit: at least one is honest.
+  host_->network()->simulator()->Cancel(flight.retransmit_timer);
+  flights_.erase(it);
+  acked_out_of_order_.insert(ack.src_log_pos);
+  AdvanceAckedWatermark();
+  PumpPipeline();
+}
+
+void CommDaemon::AdvanceAckedWatermark() {
+  // The watermark moves through the (sorted) communication positions of
+  // this destination as long as each next one is acknowledged.
+  auto comm_it = host_->comm_positions_.find(dest_);
+  if (comm_it == host_->comm_positions_.end()) return;
+  const std::vector<uint64_t>& positions = comm_it->second;
+  for (auto pos_it = std::upper_bound(positions.begin(), positions.end(),
+                                      acked_pos_);
+       pos_it != positions.end(); ++pos_it) {
+    auto acked = acked_out_of_order_.find(*pos_it);
+    if (acked == acked_out_of_order_.end()) break;
+    acked_pos_ = *pos_it;
+    acked_out_of_order_.erase(acked);
+  }
+}
+
+// --- reserve ------------------------------------------------------------------
+
+void CommDaemon::PollReceiver() {
+  sim::Simulator* simulator = host_->network()->simulator();
+  poll_timer_ = simulator->Schedule(
+      host_->options_.reserve_poll_interval, [this]() {
+        poll_timer_ = sim::kInvalidEventId;
+        if (active_) return;  // promoted; no more polling
+        status_replies_.clear();
+        RecvStatusQueryMsg query;
+        query.src_site = host_->origin_site();
+        Bytes encoded = query.Encode();
+        // Ask 2f_i+1 destination nodes so that some group of f_i+1 agrees.
+        for (int i = 0; i < 2 * host_->options_.fi + 1; ++i) {
+          host_->SendTo(net::NodeId{dest_, i}, kRecvStatusQuery,
+                        Bytes(encoded));
+        }
+        PollReceiver();
+      });
+}
+
+void CommDaemon::OnRecvStatusReply(const net::Message& msg) {
+  if (active_) return;
+  RecvStatusReplyMsg reply;
+  if (!RecvStatusReplyMsg::Decode(msg.payload, &reply).ok()) return;
+  if (msg.src.site != dest_ || reply.src_site != host_->origin_site()) return;
+  status_replies_[msg.src] = reply.last_pos;
+  int needed = host_->options_.fi + 1;
+  if (static_cast<int>(status_replies_.size()) <
+      2 * host_->options_.fi + 1) {
+    return;
+  }
+  // The reserve chooses the f_i+1 group that maximizes the lowest reported
+  // position: with sorted replies, that is the (f_i+1)-th largest value.
+  std::vector<uint64_t> values;
+  for (auto& [node, pos] : status_replies_) values.push_back(pos);
+  std::sort(values.begin(), values.end(), std::greater<>());
+  uint64_t attested = values[needed - 1];
+  status_replies_.clear();
+
+  uint64_t expected = 0;
+  auto comm_it = host_->comm_positions_.find(dest_);
+  if (comm_it != host_->comm_positions_.end() && !comm_it->second.empty()) {
+    expected = comm_it->second.back();
+  }
+  // A substantial gap that persists across polls means the active daemon
+  // is failing to deliver (maliciously or otherwise): take over.
+  if (expected >= attested + host_->options_.reserve_gap_threshold &&
+      attested <= last_attested_) {
+    if (++stalled_polls_ >= 2) {
+      BP_LOG(kInfo) << host_->self().ToString()
+                    << " reserve daemon activating for dest " << dest_;
+      active_ = true;
+      acked_pos_ = attested;
+      next_send_pos_ = attested;
+      PumpPipeline();
+      return;
+    }
+  } else {
+    stalled_polls_ = 0;
+  }
+  last_attested_ = attested;
+}
+
+}  // namespace blockplane::core

@@ -1,0 +1,92 @@
+// The communication daemon (§IV-C, Algorithm 2) and the daemon reserve.
+//
+// A daemon serves one destination participant. It scans its host node's
+// copy of the Local Log for communication records to that destination,
+// builds transmission records (message + pointer to the previous
+// communication record to the same destination), collects f_i+1 signatures
+// from local Blockplane nodes, pushes the record to nodes at the
+// destination, and retransmits until f_i+1 of them acknowledge the commit.
+//
+// Transmissions are pipelined up to a window: the receiver's chain-pointer
+// verification guarantees in-order commitment regardless, so the daemon
+// never needs to stall on an ack before shipping the next record.
+//
+// A *reserve* daemon stays passive: it periodically asks >= f_i+1 nodes at
+// the destination for the most recent transmission they received from this
+// participant (taking the value attested by some group of f_i+1 responders)
+// and activates itself when the gap to the local send watermark suggests
+// the active daemon is faulty or malicious.
+#ifndef BLOCKPLANE_CORE_COMM_DAEMON_H_
+#define BLOCKPLANE_CORE_COMM_DAEMON_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/record.h"
+#include "net/network.h"
+
+namespace blockplane::core {
+
+class BlockplaneNode;
+
+class CommDaemon {
+ public:
+  CommDaemon(BlockplaneNode* host, net::SiteId dest, bool reserve);
+  ~CommDaemon();
+  BP_DISALLOW_COPY_AND_ASSIGN(CommDaemon);
+
+  /// Called by the host node when its log (or geo-proof store) grows.
+  void NotifyLogAppend();
+
+  /// Routes kTransmissionAck / kAttestResponse / kRecvStatusReply traffic.
+  void OnMessage(const net::Message& msg);
+
+  /// Byzantine test hook: the daemon keeps claiming to work but sends
+  /// nothing (the reserve should take over).
+  void Mute() { muted_ = true; }
+
+  net::SiteId dest() const { return dest_; }
+  bool active() const { return active_; }
+  /// Highest contiguously acknowledged source-log position.
+  uint64_t acked_watermark() const { return acked_pos_; }
+
+ private:
+  /// One pipelined transmission.
+  struct Flight {
+    TransmissionRecord record;
+    bool sigs_complete = false;
+    std::set<net::NodeId> ack_senders;
+    sim::EventId retransmit_timer = sim::kInvalidEventId;
+  };
+
+  void PumpPipeline();
+  void OnAttestResponse(const net::Message& msg);
+  void OnTransmissionAck(const net::Message& msg);
+  void OnRecvStatusReply(const net::Message& msg);
+  void Transmit(Flight& flight, bool widen);
+  void RequestAttestations(uint64_t pos);
+  void ArmRetransmit(uint64_t pos);
+  void AdvanceAckedWatermark();
+  void PollReceiver();
+
+  BlockplaneNode* host_;
+  net::SiteId dest_;
+  bool active_;
+  bool muted_ = false;
+
+  uint64_t acked_pos_ = 0;     // contiguous ack watermark
+  uint64_t next_send_pos_ = 0;  // highest source-log pos already shipped
+  std::map<uint64_t, Flight> flights_;   // by source-log pos
+  std::set<uint64_t> acked_out_of_order_;
+
+  /// Reserve state.
+  sim::EventId poll_timer_ = sim::kInvalidEventId;
+  std::map<net::NodeId, uint64_t> status_replies_;
+  uint64_t last_attested_ = 0;
+  int stalled_polls_ = 0;
+};
+
+}  // namespace blockplane::core
+
+#endif  // BLOCKPLANE_CORE_COMM_DAEMON_H_

@@ -1,0 +1,74 @@
+// Builds and owns a complete Blockplane deployment: per-site units of
+// 3f_i+1 nodes, participants, communication daemons + reserves, and (with
+// fg > 0) the mirror groups on each participant's 2fg closest sites.
+//
+// This is the top-level entry point used by the examples and benches:
+//
+//   sim::Simulator simulator;
+//   core::Deployment deployment(&simulator, net::Topology::Aws4(), options);
+//   deployment.participant(net::kCalifornia)
+//       ->LogCommit(ToBytes("state change"), 0, [](uint64_t pos) { ... });
+//   simulator.Run();
+#ifndef BLOCKPLANE_CORE_DEPLOYMENT_H_
+#define BLOCKPLANE_CORE_DEPLOYMENT_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/comm_daemon.h"
+#include "core/participant.h"
+
+namespace blockplane::core {
+
+class Deployment {
+ public:
+  Deployment(sim::Simulator* simulator, net::Topology topology,
+             BlockplaneOptions options, net::NetworkOptions net_options = {});
+  BP_DISALLOW_COPY_AND_ASSIGN(Deployment);
+
+  Participant* participant(net::SiteId site) {
+    return participants_.at(site).get();
+  }
+  BlockplaneNode* node(net::SiteId site, int index) {
+    return units_.at(site).at(index).get();
+  }
+  /// Mirror-group node `index` replicating `origin`'s log at `host`.
+  BlockplaneNode* mirror_node(net::SiteId host, net::SiteId origin,
+                              int index) {
+    return mirrors_.at({host, origin}).at(index).get();
+  }
+  /// The 2fg sites mirroring `site` (empty when fg == 0).
+  const std::vector<net::SiteId>& mirror_sites_of(net::SiteId site) const {
+    return mirror_sites_.at(site);
+  }
+
+  net::Network* network() { return &network_; }
+  crypto::KeyStore* keys() { return &keys_; }
+  const BlockplaneOptions& options() const { return options_; }
+  int num_sites() const { return network_.topology().num_sites(); }
+
+  /// Registers a verification routine on every node of a site's unit.
+  /// `factory` is invoked once per node so each routine can capture
+  /// node-local protocol state.
+  void RegisterVerifier(net::SiteId site, uint64_t routine_id,
+                        const std::function<VerifyRoutine(BlockplaneNode*)>&
+                            factory);
+
+ private:
+  sim::Simulator* sim_;
+  net::Network network_;
+  crypto::KeyStore keys_;
+  BlockplaneOptions options_;
+
+  std::map<net::SiteId, std::vector<std::unique_ptr<BlockplaneNode>>> units_;
+  std::map<std::pair<net::SiteId, net::SiteId>,
+           std::vector<std::unique_ptr<BlockplaneNode>>>
+      mirrors_;  // (host, origin) -> nodes
+  std::map<net::SiteId, std::unique_ptr<Participant>> participants_;
+  std::map<net::SiteId, std::vector<net::SiteId>> mirror_sites_;
+};
+
+}  // namespace blockplane::core
+
+#endif  // BLOCKPLANE_CORE_DEPLOYMENT_H_

@@ -1,0 +1,624 @@
+#include "core/node.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/comm_daemon.h"
+#include "core/wire.h"
+
+namespace blockplane::core {
+
+namespace {
+
+/// The participant (user-space) process of a site lives at index 1000.
+constexpr int32_t kParticipantIndex = 1000;
+
+}  // namespace
+
+net::NodeId ParticipantNodeId(net::SiteId site) {
+  return net::NodeId{site, kParticipantIndex};
+}
+
+net::NodeId MirrorNodeId(net::SiteId host_site, net::SiteId origin_site,
+                         int index) {
+  // Mirror groups get disjoint index ranges per mirrored origin so they can
+  // share the host site without demultiplexing PBFT traffic.
+  return net::NodeId{host_site, 100 * (origin_site + 1) + index};
+}
+
+BlockplaneNode::BlockplaneNode(net::Network* network, crypto::KeyStore* keys,
+                               const BlockplaneOptions& options,
+                               pbft::PbftConfig group, net::NodeId self,
+                               net::SiteId origin_site)
+    : network_(network),
+      sim_(network->simulator()),
+      keys_(keys),
+      signer_(keys->RegisterNode(self)),
+      options_(options),
+      self_(self),
+      origin_site_(origin_site) {
+  group.hash_payloads = options_.hash_payloads;
+  group.sign_messages = options_.sign_messages;
+  group.view_timeout = options_.local_view_timeout;
+  group.client_retry = options_.local_client_retry;
+  group.checkpoint_interval = options_.checkpoint_interval;
+  replica_ = std::make_unique<pbft::PbftReplica>(
+      network_, keys_, std::move(group), self_,
+      [this](uint64_t seq, const Bytes& value) { OnExecute(seq, value); });
+  replica_->SetVerifier(
+      [this](const Bytes& value) { return VerifyValue(value); });
+  replica_->SetSnapshotCallback([this](const pbft::SnapshotMsg& snapshot) {
+    OnSnapshotCertificate(snapshot);
+  });
+  network_->Register(self_, this);
+}
+
+BlockplaneNode::~BlockplaneNode() { network_->Unregister(self_); }
+
+void BlockplaneNode::SendTo(net::NodeId dst, net::MessageType type,
+                            Bytes payload) {
+  net::Message msg;
+  msg.src = self_;
+  msg.dst = dst;
+  msg.type = type;
+  msg.payload = std::move(payload);
+  if (msg.dst == self_) {
+    HandleMessage(msg);
+    return;
+  }
+  network_->Send(std::move(msg));
+}
+
+void BlockplaneNode::HandleMessage(const net::Message& msg) {
+  switch (msg.type) {
+    case kTransmission:
+      OnTransmission(msg);
+      return;
+    case kTransmissionAck:
+    case kAttestResponse:
+    case kRecvStatusReply:
+      for (auto& daemon : daemons_) daemon->OnMessage(msg);
+      return;
+    case kAttestRequest:
+      OnAttestRequest(msg);
+      return;
+    case kRecvStatusQuery:
+      OnRecvStatusQuery(msg);
+      return;
+    case kGeoReplicate:
+      OnGeoReplicate(msg);
+      return;
+    case kGeoProofBundle:
+      OnGeoProofBundle(msg);
+      return;
+    case kLogSyncRequest:
+      OnLogSyncRequest(msg);
+      return;
+    case kLogSyncReply:
+      OnLogSyncReply(msg);
+      return;
+    case kMirrorFetch: {
+      // Mirror reconciliation (§V): hand out the mirrored entries (with
+      // their proofs) a recovering acting primary is missing. Mirror logs
+      // commit strictly in geo order, so the PBFT sequence number equals
+      // the geo position.
+      if (!is_mirror()) return;
+      MirrorFetchMsg fetch;
+      if (!MirrorFetchMsg::Decode(msg.payload, &fetch).ok()) return;
+      if (fetch.origin_site != origin_site_) return;
+      constexpr uint64_t kMaxEntries = 64;
+      for (uint64_t pos = fetch.from_geo_pos + 1;
+           pos <= mirror_high_pos_ && pos <= fetch.from_geo_pos + kMaxEntries;
+           ++pos) {
+        auto it = log_.find(pos);
+        if (it == log_.end()) break;
+        MirrorEntryMsg entry;
+        entry.origin_site = origin_site_;
+        entry.record = it->second.Encode();
+        SendTo(msg.src, kMirrorEntry, entry.Encode());
+      }
+      return;
+    }
+    case kReadRequest: {
+      ReadRequestMsg request;
+      if (!ReadRequestMsg::Decode(msg.payload, &request).ok()) return;
+      ReadReplyMsg reply;
+      reply.read_id = request.read_id;
+      reply.pos = request.pos;
+      auto it = log_.find(request.pos);
+      if (it != log_.end()) {
+        reply.found = true;
+        if (lie_on_reads_) {
+          LogRecord forged = it->second;
+          forged.payload = ToBytes("forged read result");
+          reply.record = forged.Encode();
+        } else {
+          reply.record = it->second.Encode();
+        }
+      }
+      SendTo(msg.src, kReadReply, reply.Encode());
+      return;
+    }
+    default:
+      break;
+  }
+  if (msg.type >= 100 && msg.type < 200) {
+    // kReply messages addressed to this node are answers to SubmitLocalCommit
+    // requests; execution is what matters, so they need no handling.
+    if (msg.type == pbft::kReply) return;
+    replica_->HandleMessage(msg);
+  }
+}
+
+void BlockplaneNode::RegisterVerifier(uint64_t routine_id,
+                                      VerifyRoutine routine) {
+  BP_CHECK_MSG(routine_id != 0, "routine id 0 is the accept-all default");
+  verifiers_[routine_id] = std::move(routine);
+}
+
+void BlockplaneNode::SubmitLocalCommit(const LogRecord& record) {
+  pbft::RequestMsg request;
+  request.client_token = pbft::ClientToken(self_);
+  request.req_id = next_req_id_++;
+  request.value = record.Encode();
+  SendTo(replica_->leader(), pbft::kRequest, request.Encode());
+}
+
+void BlockplaneNode::StartCommDaemon(net::SiteId dest, bool reserve) {
+  daemons_.push_back(std::make_unique<CommDaemon>(this, dest, reserve));
+}
+
+void BlockplaneNode::MuteDaemons() {
+  for (auto& daemon : daemons_) daemon->Mute();
+}
+
+uint64_t BlockplaneNode::last_received_pos(net::SiteId src) const {
+  auto it = last_received_pos_.find(src);
+  return it == last_received_pos_.end() ? 0 : it->second;
+}
+
+uint64_t BlockplaneNode::comm_records_to(net::SiteId dest) const {
+  auto it = comm_positions_.find(dest);
+  return it == comm_positions_.end() ? 0 : it->second.size();
+}
+
+uint64_t BlockplaneNode::daemon_acked(net::SiteId dest) const {
+  for (const auto& daemon : daemons_) {
+    if (daemon->dest() == dest) return daemon->acked_watermark();
+  }
+  return 0;
+}
+
+// --- PBFT hooks ----------------------------------------------------------------
+
+bool BlockplaneNode::VerifyValue(const Bytes& value) {
+  LogRecord record;
+  if (!LogRecord::Decode(value, &record).ok()) return false;
+
+  if (is_mirror()) {
+    // A mirror group only ever stores mirrored entries of its origin.
+    if (record.type != RecordType::kMirrored) return false;
+    return VerifyMirrored(record);
+  }
+  switch (record.type) {
+    case RecordType::kMirrored:
+      return false;  // mirrored entries never enter a unit's own log
+    case RecordType::kReceived:
+      if (!VerifyReceived(record)) return false;
+      break;
+    case RecordType::kLogCommit:
+    case RecordType::kCommunication:
+      break;
+  }
+  // The user's verification routine (§III-C), if registered.
+  if (record.routine_id != 0) {
+    auto it = verifiers_.find(record.routine_id);
+    if (it != verifiers_.end() && !it->second(record)) return false;
+  }
+  return true;
+}
+
+bool BlockplaneNode::VerifyReceived(const LogRecord& record) const {
+  // The built-in receive verification routine (§IV-C).
+  if (record.dest_site != origin_site_) return false;
+  if (record.src_site == origin_site_ || record.src_site < 0) return false;
+
+  // (1) f_i+1 signatures from the source participant's unit.
+  if (options_.sign_messages) {
+    Bytes canonical =
+        AttestCanonical(AttestPurpose::kTransmission, record.src_site,
+                        record.src_log_pos, record.ContentDigest());
+    if (!keys_->VerifyProof(canonical, record.proof, record.src_site,
+                            options_.fi + 1)) {
+      return false;
+    }
+  }
+
+  // (2) Not received before, and (3) no earlier unreceived transmission:
+  // the chain pointer must extend our current reception watermark.
+  uint64_t last = last_received_pos(record.src_site);
+  if (record.src_log_pos <= last) return false;
+  if (record.prev_src_log_pos != last) return false;
+
+  // (4) §V: with geo-correlated tolerance, the source must prove that fg
+  // other participants hold the record.
+  if (options_.fg > 0 && options_.sign_messages) {
+    LogRecord original;
+    original.type = RecordType::kCommunication;
+    original.routine_id = record.routine_id;
+    original.payload = record.payload;
+    original.dest_site = record.dest_site;
+    original.geo_pos = record.geo_pos;
+    crypto::Digest geo_digest = crypto::Sha256Digest(original.Encode());
+
+    std::set<net::SiteId> proven;
+    for (int site = 0; site < network_->topology().num_sites(); ++site) {
+      if (site == record.src_site) continue;
+      Bytes canonical = AttestCanonical(AttestPurpose::kGeoAck, site,
+                                        record.geo_pos, geo_digest);
+      if (keys_->VerifyProof(canonical, record.geo_proof, site,
+                             options_.fi + 1)) {
+        proven.insert(site);
+      }
+    }
+    if (static_cast<int>(proven.size()) < options_.fg) return false;
+  }
+  return true;
+}
+
+bool BlockplaneNode::VerifyMirrored(const LogRecord& record) const {
+  if (record.geo_pos != mirror_high_pos_ + 1) return false;
+  LogRecord inner;
+  if (!LogRecord::Decode(record.payload, &inner).ok()) return false;
+  if (!options_.sign_messages) return true;
+
+  crypto::Digest digest = crypto::Sha256Digest(record.payload);
+  Bytes canonical = AttestCanonical(AttestPurpose::kGeoSource,
+                                    record.src_site, record.geo_pos, digest);
+  if (record.src_site == self_.site) {
+    // Locally-acting participant: the (trusted, user-space) participant
+    // process signs its own submissions; local PBFT masks byzantine nodes.
+    for (const crypto::Signature& sig : record.proof) {
+      if (sig.signer == ParticipantNodeId(self_.site) &&
+          keys_->Verify(canonical, sig)) {
+        return true;
+      }
+    }
+    return false;
+  }
+  // Remote acting site: f_i+1 of its nodes must attest the record.
+  return keys_->VerifyProof(canonical, record.proof, record.src_site,
+                            options_.fi + 1);
+}
+
+void BlockplaneNode::OnExecute(uint64_t seq, const Bytes& value) {
+  if (seq <= applied_high_) return;  // already applied via log sync
+  ApplyValue(seq, value);
+}
+
+void BlockplaneNode::ApplyValue(uint64_t seq, const Bytes& value) {
+  // Mirror the PBFT replica's state-digest chain so synced log contents
+  // can be verified against a certified checkpoint.
+  {
+    crypto::Digest value_digest =
+        pbft::ComputeDigest(value, options_.hash_payloads);
+    Encoder chain;
+    chain.PutRaw(chain_digest_.data(), chain_digest_.size());
+    chain.PutRaw(value_digest.data(), value_digest.size());
+    chain_digest_ = crypto::Sha256Digest(chain.buffer());
+  }
+  applied_high_ = seq;
+
+  LogRecord record;
+  if (!LogRecord::Decode(value, &record).ok()) {
+    // Can only happen if f+1 replicas committed garbage — i.e. never.
+    BP_LOG(kError) << self_.ToString() << " undecodable committed record";
+    return;
+  }
+  log_[seq] = record;
+
+  switch (record.type) {
+    case RecordType::kLogCommit:
+      ++api_record_count_;
+      api_pos_by_log_pos_[seq] = api_record_count_;
+      break;
+    case RecordType::kCommunication: {
+      ++api_record_count_;
+      api_pos_by_log_pos_[seq] = api_record_count_;
+      auto& positions = comm_positions_[record.dest_site];
+      positions.push_back(seq);
+      for (auto& daemon : daemons_) daemon->NotifyLogAppend();
+      break;
+    }
+    case RecordType::kReceived: {
+      last_received_pos_[record.src_site] = record.src_log_pos;
+      // Ack every node that asked us to commit this transmission.
+      auto key = std::make_pair(record.src_site, record.src_log_pos);
+      auto pending = pending_acks_.find(key);
+      if (pending != pending_acks_.end()) {
+        TransmissionAckMsg ack;
+        ack.src_log_pos = record.src_log_pos;
+        for (const net::NodeId& requester : pending->second) {
+          SendTo(requester, kTransmissionAck, ack.Encode());
+        }
+        pending_acks_.erase(pending);
+      }
+      // Notify the participant process (f_i+1 matching notices convince it).
+      DeliverNoticeMsg notice;
+      notice.src_site = record.src_site;
+      notice.src_log_pos = record.src_log_pos;
+      notice.prev_src_log_pos = record.prev_src_log_pos;
+      notice.payload = record.payload;
+      SendTo(ParticipantNodeId(origin_site_), kDeliverNotice, notice.Encode());
+      break;
+    }
+    case RecordType::kMirrored: {
+      mirror_high_pos_ = record.geo_pos;
+      mirror_digest_by_pos_[record.geo_pos] =
+          crypto::Sha256Digest(record.payload);
+      // Geo-ack back to the acting participant (§V): our signature counts
+      // toward its f_i+1-per-site proof.
+      GeoAckMsg ack;
+      ack.geo_pos = record.geo_pos;
+      ack.sig = signer_->Sign(
+          AttestCanonical(AttestPurpose::kGeoAck, self_.site, record.geo_pos,
+                          mirror_digest_by_pos_[record.geo_pos]));
+      SendTo(ParticipantNodeId(record.src_site), kGeoAck, ack.Encode());
+      break;
+    }
+  }
+  if (apply_hook_) apply_hook_(seq, record);
+
+  if (options_.prune_applied_log > 0 &&
+      log_.size() > options_.prune_applied_log) {
+    // Drop old non-communication entries; communication records must stay
+    // until their transmissions are acknowledged.
+    uint64_t keep_from = seq > options_.prune_applied_log
+                             ? seq - options_.prune_applied_log
+                             : 0;
+    for (auto it = log_.begin();
+         it != log_.end() && it->first < keep_from;) {
+      if (it->second.type == RecordType::kCommunication) {
+        ++it;
+      } else {
+        api_pos_by_log_pos_.erase(it->first);
+        it = log_.erase(it);
+      }
+    }
+  }
+}
+
+// --- recovery past the checkpoint window (§VI-B) --------------------------------
+
+void BlockplaneNode::OnSnapshotCertificate(const pbft::SnapshotMsg& snapshot) {
+  if (snapshot.seq <= applied_high_) return;
+  // The PBFT layer already verified the 2f+1-signature certificate. Fetch
+  // the committed values from peers; the digest chain makes one honest
+  // copy sufficient (and any dishonest copy detectable).
+  sync_target_seq_ = snapshot.seq;
+  sync_target_digest_ = snapshot.state_digest;
+  LogSyncRequestMsg request;
+  request.from_pos = applied_high_ + 1;
+  request.to_pos = snapshot.seq;
+  Bytes encoded = request.Encode();
+  for (const net::NodeId& peer : replica_->config().nodes) {
+    if (peer == self_) continue;
+    SendTo(peer, kLogSyncRequest, Bytes(encoded));
+  }
+}
+
+void BlockplaneNode::OnLogSyncRequest(const net::Message& msg) {
+  if (replica_->config().ReplicaIndex(msg.src) < 0) return;
+  LogSyncRequestMsg request;
+  if (!LogSyncRequestMsg::Decode(msg.payload, &request).ok()) return;
+  constexpr uint64_t kMaxEntries = 256;
+  uint64_t sent = 0;
+  for (uint64_t pos = request.from_pos;
+       pos <= request.to_pos && sent < kMaxEntries; ++pos) {
+    auto it = log_.find(pos);
+    if (it == log_.end()) return;  // pruned or not yet applied here
+    LogSyncReplyMsg reply;
+    reply.pos = pos;
+    reply.value = it->second.Encode();
+    SendTo(msg.src, kLogSyncReply, reply.Encode());
+    ++sent;
+  }
+}
+
+void BlockplaneNode::OnLogSyncReply(const net::Message& msg) {
+  if (sync_target_seq_ == 0) return;
+  if (replica_->config().ReplicaIndex(msg.src) < 0) return;
+  LogSyncReplyMsg reply;
+  if (!LogSyncReplyMsg::Decode(msg.payload, &reply).ok()) return;
+  if (reply.pos <= applied_high_ || reply.pos > sync_target_seq_) return;
+  sync_buffer_.emplace(reply.pos, std::move(reply.value));
+  TryInstallSyncedLog();
+}
+
+void BlockplaneNode::TryInstallSyncedLog() {
+  // Need a contiguous run from our applied high to the certified seq.
+  for (uint64_t pos = applied_high_ + 1; pos <= sync_target_seq_; ++pos) {
+    if (sync_buffer_.count(pos) == 0) return;
+  }
+  // Verify the digest chain against the certified checkpoint digest
+  // before applying anything.
+  crypto::Digest chain = chain_digest_;
+  for (uint64_t pos = applied_high_ + 1; pos <= sync_target_seq_; ++pos) {
+    crypto::Digest value_digest =
+        pbft::ComputeDigest(sync_buffer_.at(pos), options_.hash_payloads);
+    Encoder enc;
+    enc.PutRaw(chain.data(), chain.size());
+    enc.PutRaw(value_digest.data(), value_digest.size());
+    chain = crypto::Sha256Digest(enc.buffer());
+  }
+  if (options_.sign_messages && chain != sync_target_digest_) {
+    // A lying peer fed us garbage; drop it all and re-request.
+    BP_LOG(kWarning) << self_.ToString()
+                     << " log sync failed digest verification; retrying";
+    sync_buffer_.clear();
+    pbft::SnapshotMsg snapshot;
+    snapshot.seq = sync_target_seq_;
+    snapshot.state_digest = sync_target_digest_;
+    sync_target_seq_ = 0;
+    OnSnapshotCertificate(snapshot);
+    return;
+  }
+
+  uint64_t target = sync_target_seq_;
+  crypto::Digest target_digest = sync_target_digest_;
+  sync_target_seq_ = 0;
+  for (uint64_t pos = applied_high_ + 1; pos <= target; ++pos) {
+    ApplyValue(pos, sync_buffer_.at(pos));
+  }
+  sync_buffer_.clear();
+  replica_->InstallCheckpoint(target, target_digest);
+  replica_->CatchUp();  // anything committed since the checkpoint
+}
+
+// --- transmissions ---------------------------------------------------------------
+
+void BlockplaneNode::OnTransmission(const net::Message& msg) {
+  TransmissionRecord tr;
+  if (!TransmissionRecord::Decode(msg.payload, &tr).ok()) return;
+  if (is_mirror() || tr.dest_site != origin_site_) return;
+
+  if (tr.src_log_pos <= last_received_pos(tr.src_site)) {
+    // Already in the Local Log (duplicate daemons or retransmission): the
+    // receiving end verifies validity and duplicates are dropped (§IV-C),
+    // but we still ack so the sender stops retrying.
+    TransmissionAckMsg ack;
+    ack.src_log_pos = tr.src_log_pos;
+    SendTo(msg.src, kTransmissionAck, ack.Encode());
+    return;
+  }
+  pending_acks_[{tr.src_site, tr.src_log_pos}].insert(msg.src);
+  SubmitLocalCommit(tr.ToReceivedRecord());
+}
+
+// --- attestation service ----------------------------------------------------------
+
+void BlockplaneNode::OnAttestRequest(const net::Message& msg) {
+  if (refuse_attestations_) return;
+  AttestRequestMsg request;
+  if (!AttestRequestMsg::Decode(msg.payload, &request).ok()) return;
+
+  AttestResponseMsg response;
+  response.purpose = request.purpose;
+  response.pos = request.pos;
+
+  switch (request.purpose) {
+    case AttestPurpose::kTransmission: {
+      // Sign "communication record at pos is committed and its transmission
+      // form (including the chain pointer) is accurate" — from OUR log.
+      auto it = log_.find(request.pos);
+      if (it == log_.end() ||
+          it->second.type != RecordType::kCommunication ||
+          it->second.dest_site != request.dest_site) {
+        return;
+      }
+      LogRecord as_received = it->second;
+      as_received.type = RecordType::kReceived;
+      as_received.src_site = origin_site_;
+      as_received.src_log_pos = request.pos;
+      as_received.prev_src_log_pos = PrevCommPos(request.dest_site,
+                                                 request.pos);
+      response.sig = signer_->Sign(
+          AttestCanonical(AttestPurpose::kTransmission, origin_site_,
+                          request.pos, as_received.ContentDigest()));
+      break;
+    }
+    case AttestPurpose::kGeoSource: {
+      if (is_mirror()) {
+        // Acting-site flow: attest an entry of our mirror log by its
+        // geo position.
+        auto it = mirror_digest_by_pos_.find(request.pos);
+        if (it == mirror_digest_by_pos_.end()) return;
+        response.sig = signer_->Sign(AttestCanonical(
+            AttestPurpose::kGeoSource, self_.site, request.pos, it->second));
+        break;
+      }
+      auto it = log_.find(request.pos);
+      if (it == log_.end() || (it->second.type != RecordType::kLogCommit &&
+                               it->second.type != RecordType::kCommunication)) {
+        return;
+      }
+      auto api = api_pos_by_log_pos_.find(request.pos);
+      if (api == api_pos_by_log_pos_.end()) return;
+      response.sig = signer_->Sign(AttestCanonical(
+          AttestPurpose::kGeoSource, origin_site_, api->second,
+          crypto::Sha256Digest(it->second.Encode())));
+      break;
+    }
+    case AttestPurpose::kGeoAck:
+      return;  // geo-acks are pushed, never requested
+  }
+  SendTo(msg.src, kAttestResponse, response.Encode());
+}
+
+uint64_t BlockplaneNode::PrevCommPos(net::SiteId dest, uint64_t pos) const {
+  auto it = comm_positions_.find(dest);
+  if (it == comm_positions_.end()) return 0;
+  uint64_t prev = 0;
+  for (uint64_t p : it->second) {
+    if (p >= pos) break;
+    prev = p;
+  }
+  return prev;
+}
+
+// --- status queries ----------------------------------------------------------------
+
+void BlockplaneNode::OnRecvStatusQuery(const net::Message& msg) {
+  RecvStatusQueryMsg query;
+  if (!RecvStatusQueryMsg::Decode(msg.payload, &query).ok()) return;
+  RecvStatusReplyMsg reply;
+  reply.src_site = query.src_site;
+  if (is_mirror()) {
+    if (query.src_site != origin_site_) return;
+    reply.last_pos = mirror_high_pos_;
+  } else {
+    // "the returned log position is the one that was sent along with the
+    // transmission record and not the one at the receiver's Local Log."
+    reply.last_pos = last_received_pos(query.src_site);
+  }
+  if (lie_about_reception_) reply.last_pos += 1000000;
+  SendTo(msg.src, kRecvStatusReply, reply.Encode());
+}
+
+// --- geo replication ----------------------------------------------------------------
+
+void BlockplaneNode::OnGeoReplicate(const net::Message& msg) {
+  if (!is_mirror()) return;
+  GeoReplicateMsg replicate;
+  if (!GeoReplicateMsg::Decode(msg.payload, &replicate).ok()) return;
+
+  if (replicate.geo_pos <= mirror_high_pos_) {
+    // Already mirrored: re-ack (the acting participant's first ack set may
+    // have been lost, or a retry raced a slow quorum).
+    auto it = mirror_digest_by_pos_.find(replicate.geo_pos);
+    if (it == mirror_digest_by_pos_.end()) return;
+    GeoAckMsg ack;
+    ack.geo_pos = replicate.geo_pos;
+    ack.sig = signer_->Sign(AttestCanonical(
+        AttestPurpose::kGeoAck, self_.site, replicate.geo_pos, it->second));
+    SendTo(ParticipantNodeId(replicate.acting_site), kGeoAck, ack.Encode());
+    return;
+  }
+
+  LogRecord record;
+  record.type = RecordType::kMirrored;
+  record.payload = std::move(replicate.record);
+  record.src_site = replicate.acting_site;
+  record.geo_pos = replicate.geo_pos;
+  record.proof = std::move(replicate.sigs);
+  SubmitLocalCommit(record);
+}
+
+void BlockplaneNode::OnGeoProofBundle(const net::Message& msg) {
+  GeoProofBundleMsg bundle;
+  if (!GeoProofBundleMsg::Decode(msg.payload, &bundle).ok()) return;
+  geo_proofs_[bundle.pos] = std::move(bundle.proof);
+  for (auto& daemon : daemons_) daemon->NotifyLogAppend();
+}
+
+}  // namespace blockplane::core

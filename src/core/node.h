@@ -1,0 +1,211 @@
+// A Blockplane node: one of the 3f_i+1 machines a participant runs
+// (§III-B). Each node hosts
+//
+//   * a PBFT replica of the participant's Local Log (the local-commit
+//     engine of §IV-B), with the verification-routine hook wired in,
+//   * a full copy of the Local Log plus the reception bookkeeping used by
+//     the built-in receive verification routine (§IV-C),
+//   * the attestation service that signs transmission records and
+//     geo-replication requests on behalf of the unit,
+//   * the delivery path that turns committed received-records into
+//     reception-buffer entries and notifies the participant process.
+//
+// The same class also hosts *mirror* logs (§V): a node whose `origin_site`
+// differs from its own site replicates another participant's Local Log for
+// geo-correlated fault tolerance and answers geo-replication requests with
+// geo-acks instead of delivery notices.
+#ifndef BLOCKPLANE_CORE_NODE_H_
+#define BLOCKPLANE_CORE_NODE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "core/options.h"
+#include "core/record.h"
+#include "crypto/signer.h"
+#include "net/network.h"
+#include "pbft/replica.h"
+
+namespace blockplane::core {
+
+class CommDaemon;
+
+/// The network address of a site's participant (user-space) process.
+net::NodeId ParticipantNodeId(net::SiteId site);
+
+/// The address of node `index` in the mirror group replicating
+/// `origin_site`'s log at `host_site` (§V).
+net::NodeId MirrorNodeId(net::SiteId host_site, net::SiteId origin_site,
+                         int index);
+
+/// Per-node user verification routine (§III-C): attests that a record is a
+/// valid state transition given this node's replica of the protocol state.
+using VerifyRoutine = std::function<bool(const LogRecord&)>;
+
+/// Per-node apply hook: lets a protocol replica (or test) observe every
+/// Local Log append in order.
+using ApplyHook = std::function<void(uint64_t pos, const LogRecord&)>;
+
+class BlockplaneNode : public net::Host {
+ public:
+  /// `group` is the PBFT group replicating this log; `origin_site` is the
+  /// participant whose Local Log this is (== self.site for a unit node,
+  /// different for a mirror).
+  BlockplaneNode(net::Network* network, crypto::KeyStore* keys,
+                 const BlockplaneOptions& options, pbft::PbftConfig group,
+                 net::NodeId self, net::SiteId origin_site);
+  ~BlockplaneNode() override;
+  BP_DISALLOW_COPY_AND_ASSIGN(BlockplaneNode);
+
+  void HandleMessage(const net::Message& msg) override;
+
+  /// Registers the user verification routine for `routine_id`. Routine 0 is
+  /// reserved (accept-all default).
+  void RegisterVerifier(uint64_t routine_id, VerifyRoutine routine);
+  void SetApplyHook(ApplyHook hook) { apply_hook_ = std::move(hook); }
+
+  /// Submits a record for local commit with this node acting as the client
+  /// (used by receive and geo-replication paths).
+  void SubmitLocalCommit(const LogRecord& record);
+
+  /// Starts the communication daemon for `dest` on this node. `reserve`
+  /// daemons stay passive until they detect a delivery gap (§IV-C).
+  void StartCommDaemon(net::SiteId dest, bool reserve);
+
+  /// §VI-B: after an outage, "the replica reads the state of the Local Log
+  /// from other nodes to catch up with the current state". Call once the
+  /// network declares this node recovered.
+  void Recover() {
+    replica_->CatchUp();
+    // If the outage outlived the checkpoint window, plain catch-up cannot
+    // find the entries anymore; a certified snapshot can.
+    replica_->RequestSnapshot();
+  }
+
+  /// Makes this node's daemons stop transmitting (byzantine test hook: a
+  /// malicious daemon that pretends to send).
+  void MuteDaemons();
+
+  net::NodeId self() const { return self_; }
+  net::SiteId origin_site() const { return origin_site_; }
+  bool is_mirror() const { return origin_site_ != self_.site; }
+  pbft::PbftReplica* replica() { return replica_.get(); }
+  const BlockplaneOptions& options() const { return options_; }
+  crypto::KeyStore* keys() const { return keys_; }
+  net::Network* network() const { return network_; }
+
+  /// The node's copy of the Local Log, 1-based by position.
+  const std::map<uint64_t, LogRecord>& log() const { return log_; }
+  uint64_t log_size() const { return log_.empty() ? 0 : log_.rbegin()->first; }
+  /// Highest source-log position received (and committed) from `src`.
+  uint64_t last_received_pos(net::SiteId src) const;
+  /// Number of communication records to `dest` in the log.
+  uint64_t comm_records_to(net::SiteId dest) const;
+  /// Highest source-log position this node's daemon for `dest` has seen
+  /// acknowledged by f_i+1 destination nodes (0 if no daemon here).
+  uint64_t daemon_acked(net::SiteId dest) const;
+
+  /// Byzantine test hooks.
+  void SetByzantineMode(pbft::ByzantineMode mode) {
+    replica_->SetByzantineMode(mode);
+  }
+  void RefuseAttestations() { refuse_attestations_ = true; }
+  /// Makes this node inflate its reception watermark in status replies
+  /// (an attack on the daemon-reserve gap detection, §IV-C).
+  void LieAboutReception() { lie_about_reception_ = true; }
+  /// Makes this node answer read requests with corrupted records (shows
+  /// why read-1 trusts a single node while quorum reads do not, §VI-A).
+  void LieOnReads() { lie_on_reads_ = true; }
+
+ private:
+  friend class CommDaemon;
+
+  // -- PBFT hooks --
+  bool VerifyValue(const Bytes& value);
+  void OnExecute(uint64_t seq, const Bytes& value);
+  /// Applies a committed value to this node's Local Log copy and derived
+  /// state (used by both normal execution and log sync).
+  void ApplyValue(uint64_t seq, const Bytes& value);
+
+  // -- recovery past the checkpoint window (§VI-B) --
+  void OnSnapshotCertificate(const pbft::SnapshotMsg& snapshot);
+  void OnLogSyncRequest(const net::Message& msg);
+  void OnLogSyncReply(const net::Message& msg);
+  void TryInstallSyncedLog();
+
+  /// The built-in receive verification routine (§IV-C).
+  bool VerifyReceived(const LogRecord& record) const;
+  /// Verification for mirror-log entries (§V).
+  bool VerifyMirrored(const LogRecord& record) const;
+  /// Position of the last communication record to `dest` before `pos`.
+  uint64_t PrevCommPos(net::SiteId dest, uint64_t pos) const;
+
+  // -- message handlers --
+  void OnTransmission(const net::Message& msg);
+  void OnAttestRequest(const net::Message& msg);
+  void OnRecvStatusQuery(const net::Message& msg);
+  void OnGeoReplicate(const net::Message& msg);
+  void OnGeoProofBundle(const net::Message& msg);
+
+  void SendTo(net::NodeId dst, net::MessageType type, Bytes payload);
+
+  net::Network* network_;
+  sim::Simulator* sim_;
+  crypto::KeyStore* keys_;
+  std::unique_ptr<crypto::Signer> signer_;
+  BlockplaneOptions options_;
+  net::NodeId self_;
+  net::SiteId origin_site_;
+
+  std::unique_ptr<pbft::PbftReplica> replica_;
+  std::map<uint64_t, LogRecord> log_;
+  std::unordered_map<uint64_t, VerifyRoutine> verifiers_;
+  ApplyHook apply_hook_;
+
+  /// Reception bookkeeping per source site.
+  std::unordered_map<net::SiteId, uint64_t> last_received_pos_;
+  /// Communication records per destination (positions, in order).
+  std::unordered_map<net::SiteId, std::vector<uint64_t>> comm_positions_;
+  /// Geo proofs attached by the participant, by log position.
+  std::unordered_map<uint64_t, std::vector<crypto::Signature>> geo_proofs_;
+
+  /// Count of API records (log-commit + communication) executed so far —
+  /// the geo-replication stream position of the latest API record.
+  uint64_t api_record_count_ = 0;
+  std::unordered_map<uint64_t, uint64_t> api_pos_by_log_pos_;
+
+  /// Mirror role: high watermark of the mirror log and the digest of each
+  /// mirrored entry (for re-acks and attestations).
+  uint64_t mirror_high_pos_ = 0;
+  std::map<uint64_t, crypto::Digest> mirror_digest_by_pos_;
+
+  /// Nodes awaiting an ack for a transmission: (src, src_pos) -> requesters.
+  std::map<std::pair<net::SiteId, uint64_t>, std::set<net::NodeId>>
+      pending_acks_;
+
+  /// Running digest chain over applied values — mirrors the PBFT replica's
+  /// state digest, so synced log contents can be verified against a
+  /// certified checkpoint digest.
+  crypto::Digest chain_digest_{};
+  uint64_t applied_high_ = 0;
+
+  /// Pending snapshot-driven log sync.
+  uint64_t sync_target_seq_ = 0;
+  crypto::Digest sync_target_digest_{};
+  std::map<uint64_t, Bytes> sync_buffer_;  // pos -> committed value bytes
+
+  uint64_t next_req_id_ = 1;
+  bool refuse_attestations_ = false;
+  bool lie_about_reception_ = false;
+  bool lie_on_reads_ = false;
+
+  std::vector<std::unique_ptr<CommDaemon>> daemons_;
+};
+
+}  // namespace blockplane::core
+
+#endif  // BLOCKPLANE_CORE_NODE_H_

@@ -1,0 +1,663 @@
+#include "core/participant.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace blockplane::core {
+
+namespace {
+
+constexpr int32_t kClientIndexBase = 1001;
+constexpr int32_t kMirrorClientIndexBase = 2000;
+
+}  // namespace
+
+Participant::Participant(net::Network* network, crypto::KeyStore* keys,
+                         BlockplaneOptions options,
+                         pbft::PbftConfig unit_group, net::SiteId site,
+                         std::vector<net::SiteId> mirror_sites)
+    : network_(network),
+      sim_(network->simulator()),
+      keys_(keys),
+      options_(options),
+      unit_group_(unit_group),
+      site_(site),
+      self_(ParticipantNodeId(site)),
+      mirror_sites_(std::move(mirror_sites)) {
+  signer_ = keys_->RegisterNode(self_);
+  unit_group_.hash_payloads = options_.hash_payloads;
+  unit_group_.sign_messages = options_.sign_messages;
+  unit_group_.view_timeout = options_.local_view_timeout;
+  unit_group_.client_retry = options_.local_client_retry;
+  client_ = std::make_unique<pbft::PbftClient>(
+      network_, unit_group_, net::NodeId{site, kClientIndexBase});
+  network_->Register(self_, this);
+}
+
+Participant::~Participant() {
+  if (geo_round_) sim_->Cancel(geo_round_->retry_timer);
+  sim_->Cancel(mirror_op_timer_);
+  for (auto& [read_id, pending] : reads_) sim_->Cancel(pending.retry_timer);
+  network_->Unregister(self_);
+}
+
+void Participant::SendTo(net::NodeId dst, net::MessageType type,
+                         Bytes payload) {
+  net::Message msg;
+  msg.src = self_;
+  msg.dst = dst;
+  msg.type = type;
+  msg.payload = std::move(payload);
+  network_->Send(std::move(msg));
+}
+
+// --- API entry points -----------------------------------------------------------
+
+void Participant::LogCommit(Bytes payload, uint64_t routine_id,
+                            CommitCallback done) {
+  ApiOp op;
+  op.record.type = RecordType::kLogCommit;
+  op.record.routine_id = routine_id;
+  op.record.payload = std::move(payload);
+  op.done = std::move(done);
+  EnqueueOp(std::move(op));
+}
+
+void Participant::Send(net::SiteId dest, Bytes payload, uint64_t routine_id,
+                       CommitCallback done) {
+  BP_CHECK_MSG(dest != site_, "send to self");
+  ApiOp op;
+  op.record.type = RecordType::kCommunication;
+  op.record.routine_id = routine_id;
+  op.record.payload = std::move(payload);
+  op.record.dest_site = dest;
+  op.done = std::move(done);
+  EnqueueOp(std::move(op));
+}
+
+void Participant::MirrorCommit(net::SiteId origin, Bytes payload,
+                               uint64_t routine_id, CommitCallback done) {
+  BP_CHECK_MSG(mirror_peers_.count(origin) > 0,
+               "SetMirrorPeers(origin) required before MirrorCommit");
+  ApiOp op;
+  op.record.type = RecordType::kLogCommit;  // the inner record R
+  op.record.routine_id = routine_id;
+  op.record.payload = std::move(payload);
+  op.done = std::move(done);
+  op.mirror_origin = origin;
+  EnqueueOp(std::move(op));
+}
+
+void Participant::SetMirrorPeers(net::SiteId origin,
+                                 std::vector<net::SiteId> peers) {
+  mirror_peers_[origin] = std::move(peers);
+}
+
+void Participant::EnqueueOp(ApiOp op) {
+  if (options_.fg == 0 && op.mirror_origin < 0) {
+    // Without geo rounds there is no cross-operation state: submit
+    // immediately and let the unit's leader order concurrent requests.
+    CommitCallback done = std::move(op.done);
+    client_->Submit(op.record.Encode(),
+                    [this, done = std::move(done)](uint64_t pos) {
+                      ++commits_completed_;
+                      if (done) done(pos);
+                    });
+    return;
+  }
+  ops_.push_back(std::move(op));
+  RunNextOp();
+}
+
+void Participant::RunNextOp() {
+  if (op_in_flight_ || ops_.empty()) return;
+  op_in_flight_ = true;
+  ApiOp& op = ops_.front();
+  if (op.mirror_origin >= 0) {
+    StartMirrorOp();
+    return;
+  }
+  if (options_.fg > 0) op.record.geo_pos = geo_seq_ + 1;
+  client_->Submit(op.record.Encode(),
+                  [this](uint64_t pos) { OnLocalCommitted(pos); });
+}
+
+void Participant::OnLocalCommitted(uint64_t pos) {
+  BP_CHECK(!ops_.empty());
+  if (options_.fg == 0) {
+    ApiOp op = std::move(ops_.front());
+    ops_.pop_front();
+    op_in_flight_ = false;
+    ++commits_completed_;
+    if (op.done) op.done(pos);
+    RunNextOp();
+    return;
+  }
+  StartGeoRound(pos);
+}
+
+// --- geo-correlated commits (§V) ---------------------------------------------------
+
+void Participant::StartGeoRound(uint64_t unit_pos) {
+  const ApiOp& op = ops_.front();
+  geo_round_ = std::make_unique<GeoRound>();
+  geo_round_->unit_pos = unit_pos;
+  geo_round_->geo_pos = op.record.geo_pos;
+  geo_round_->origin = site_;
+  geo_round_->record_encoded = op.record.Encode();
+  geo_round_->digest = crypto::Sha256Digest(geo_round_->record_encoded);
+  geo_round_->targets = mirror_sites_;
+  geo_round_->is_communication =
+      op.record.type == RecordType::kCommunication;
+
+  // Collect f_i+1 attestations from the unit, then replicate.
+  AttestRequestMsg request;
+  request.purpose = AttestPurpose::kGeoSource;
+  request.pos = unit_pos;
+  Bytes encoded = request.Encode();
+  for (const net::NodeId& node : unit_group_.nodes) {
+    SendTo(node, kAttestRequest, Bytes(encoded));
+  }
+  geo_round_->retry_timer =
+      sim_->Schedule(options_.geo_retry, [this]() { ReplicateRound(); });
+}
+
+void Participant::OnAttestResponse(const net::Message& msg) {
+  if (!geo_round_) return;
+  AttestResponseMsg response;
+  if (!AttestResponseMsg::Decode(msg.payload, &response).ok()) return;
+  if (response.purpose != AttestPurpose::kGeoSource) return;
+  if (response.sig.signer != msg.src) return;
+  GeoRound& round = *geo_round_;
+  // A late response from an earlier round must not count toward this one.
+  uint64_t expected_pos = round.unit_pos != 0 ? round.unit_pos : round.geo_pos;
+  if (response.pos != expected_pos) return;
+  if (static_cast<int>(round.source_sigs.size()) >= options_.fi + 1) return;
+  if (options_.sign_messages) {
+    Bytes canonical = AttestCanonical(AttestPurpose::kGeoSource, site_,
+                                      round.geo_pos, round.digest);
+    if (!keys_->Verify(canonical, response.sig)) return;
+  }
+  for (const crypto::Signature& sig : round.source_sigs) {
+    if (sig.signer == response.sig.signer) return;
+  }
+  round.source_sigs.push_back(response.sig);
+  if (static_cast<int>(round.source_sigs.size()) == options_.fi + 1) {
+    ReplicateRound();
+  }
+}
+
+void Participant::ReplicateRound() {
+  if (!geo_round_) return;
+  GeoRound& round = *geo_round_;
+  sim_->Cancel(round.retry_timer);
+  round.retry_timer =
+      sim_->Schedule(options_.geo_retry, [this]() { ReplicateRound(); });
+
+  if (static_cast<int>(round.source_sigs.size()) < options_.fi + 1) {
+    // Still collecting attestations: re-ask (covers lost responses).
+    AttestRequestMsg request;
+    request.purpose = AttestPurpose::kGeoSource;
+    request.pos = round.unit_pos != 0 ? round.unit_pos : round.geo_pos;
+    Bytes encoded = request.Encode();
+    if (round.unit_pos != 0) {
+      for (const net::NodeId& node : unit_group_.nodes) {
+        SendTo(node, kAttestRequest, Bytes(encoded));
+      }
+    } else {
+      for (int i = 0; i < 3 * options_.fi + 1; ++i) {
+        SendTo(MirrorNodeId(site_, round.origin, i), kAttestRequest,
+               Bytes(encoded));
+      }
+    }
+    return;
+  }
+
+  GeoReplicateMsg replicate;
+  replicate.acting_site = site_;
+  replicate.geo_pos = round.geo_pos;
+  replicate.record = round.record_encoded;
+  replicate.sigs = round.source_sigs;
+  Bytes encoded = replicate.Encode();
+  for (net::SiteId target : round.targets) {
+    if (round.ack_sigs.count(target) > 0) continue;  // already proven
+    for (int i = 0; i < options_.fi + 1; ++i) {
+      SendTo(MirrorNodeId(target, round.origin, i), kGeoReplicate,
+             Bytes(encoded));
+    }
+  }
+}
+
+void Participant::OnGeoAck(const net::Message& msg) {
+  if (!geo_round_) return;
+  GeoAckMsg ack;
+  if (!GeoAckMsg::Decode(msg.payload, &ack).ok()) return;
+  GeoRound& round = *geo_round_;
+  if (ack.geo_pos != round.geo_pos) return;
+  if (ack.sig.signer != msg.src) return;
+  net::SiteId target = msg.src.site;
+  if (std::find(round.targets.begin(), round.targets.end(), target) ==
+      round.targets.end()) {
+    return;
+  }
+  if (round.ack_sigs.count(target) > 0) return;  // site already proven
+  if (options_.sign_messages) {
+    Bytes canonical = AttestCanonical(AttestPurpose::kGeoAck, target,
+                                      round.geo_pos, round.digest);
+    if (!keys_->Verify(canonical, ack.sig)) return;
+  }
+  auto& nodes = round.ack_nodes[target];
+  if (!nodes.insert(msg.src).second) return;
+  round.ack_sigs_partial[target].push_back(ack.sig);
+  if (static_cast<int>(nodes.size()) < options_.fi + 1) return;
+
+  // f_i+1 nodes of this mirror participant attested: the site holds it.
+  round.ack_sigs[target] = round.ack_sigs_partial[target];
+  int proven = static_cast<int>(round.ack_sigs.size());
+  if (proven >= options_.fg) FinishGeoRound();
+}
+
+void Participant::FinishGeoRound() {
+  GeoRound round = std::move(*geo_round_);
+  geo_round_.reset();
+  sim_->Cancel(round.retry_timer);
+
+  if (round.is_communication) {
+    // Hand the mirror proofs to the unit so the communication daemons can
+    // attach them to the transmission record (§V).
+    GeoProofBundleMsg bundle;
+    bundle.pos = round.unit_pos;
+    for (auto& [site, sigs] : round.ack_sigs) {
+      bundle.proof.insert(bundle.proof.end(), sigs.begin(), sigs.end());
+    }
+    Bytes encoded = bundle.Encode();
+    for (const net::NodeId& node : unit_group_.nodes) {
+      SendTo(node, kGeoProofBundle, Bytes(encoded));
+    }
+  }
+
+  if (round.unit_pos == 0) {
+    // A mirror-acting commit: remember the stream position so subsequent
+    // commits skip the reconciliation round.
+    acting_high_[round.origin] = round.geo_pos;
+  } else {
+    geo_seq_ = round.geo_pos;
+  }
+  ApiOp op = std::move(ops_.front());
+  ops_.pop_front();
+  op_in_flight_ = false;
+  ++commits_completed_;
+  if (op.done) {
+    op.done(round.unit_pos != 0 ? round.unit_pos : round.geo_pos);
+  }
+  RunNextOp();
+}
+
+// --- mirror-acting commits (failover) ------------------------------------------------
+
+void Participant::StartMirrorOp() {
+  const ApiOp& op = ops_.front();
+  // Already acting for this origin: continue the stream directly.
+  auto acting = acting_high_.find(op.mirror_origin);
+  if (acting != acting_high_.end()) {
+    CommitMirrorRecord(op.mirror_origin, acting->second + 1);
+    return;
+  }
+  // Learn the mirror streams' high positions — locally and at every
+  // reachable peer mirror — from byzantine quorums.
+  mirror_status_.clear();
+  mirror_status_origin_ = op.mirror_origin;
+  mirror_op_proceeded_ = false;
+  RecvStatusQueryMsg query;
+  query.src_site = op.mirror_origin;
+  Bytes encoded = query.Encode();
+  for (int i = 0; i < 3 * options_.fi + 1; ++i) {
+    SendTo(MirrorNodeId(site_, op.mirror_origin, i), kRecvStatusQuery,
+           Bytes(encoded));
+  }
+  for (net::SiteId peer : mirror_peers_[op.mirror_origin]) {
+    if (peer == site_ || peer == op.mirror_origin) continue;
+    for (int i = 0; i < 2 * options_.fi + 1; ++i) {
+      SendTo(MirrorNodeId(peer, op.mirror_origin, i), kRecvStatusQuery,
+             Bytes(encoded));
+    }
+  }
+  // Dead peers never answer; proceed with whoever responded.
+  sim_->Cancel(mirror_op_timer_);
+  mirror_op_timer_ =
+      sim_->Schedule(options_.geo_retry, [this]() { ProceedMirrorOp(); });
+}
+
+namespace {
+
+/// The (threshold)-th largest value of a reply set, i.e. the highest
+/// position some group of `threshold` responders jointly attests.
+uint64_t AttestedHigh(const std::map<net::NodeId, uint64_t>& replies,
+                      int threshold) {
+  std::vector<uint64_t> values;
+  for (auto& [node, pos] : replies) values.push_back(pos);
+  if (static_cast<int>(values.size()) < threshold) return 0;
+  std::sort(values.begin(), values.end(), std::greater<>());
+  return values[threshold - 1];
+}
+
+}  // namespace
+
+void Participant::OnRecvStatusReply(const net::Message& msg) {
+  if (mirror_status_origin_ < 0 || !op_in_flight_) return;
+  RecvStatusReplyMsg reply;
+  if (!RecvStatusReplyMsg::Decode(msg.payload, &reply).ok()) return;
+  if (reply.src_site != mirror_status_origin_) return;
+  mirror_status_[msg.src.site][msg.src] = reply.last_pos;
+  // Proceed as soon as the local quorum plus every peer quorum answered;
+  // the timer covers crashed peers.
+  if (static_cast<int>(mirror_status_[site_].size()) < 2 * options_.fi + 1) {
+    return;
+  }
+  for (net::SiteId peer : mirror_peers_[mirror_status_origin_]) {
+    if (peer == site_ || peer == mirror_status_origin_) continue;
+    auto it = mirror_status_.find(peer);
+    if (it == mirror_status_.end() ||
+        static_cast<int>(it->second.size()) < 2 * options_.fi + 1) {
+      return;
+    }
+  }
+  ProceedMirrorOp();
+}
+
+void Participant::ProceedMirrorOp() {
+  if (mirror_op_proceeded_ || mirror_status_origin_ < 0) return;
+  auto local_it = mirror_status_.find(site_);
+  if (local_it == mirror_status_.end() ||
+      static_cast<int>(local_it->second.size()) < 2 * options_.fi + 1) {
+    // Local replies are mandatory; re-poll shortly.
+    sim_->Cancel(mirror_op_timer_);
+    mirror_op_timer_ =
+        sim_->Schedule(options_.geo_retry, [this]() { StartMirrorOp(); });
+    return;
+  }
+  mirror_op_proceeded_ = true;
+  sim_->Cancel(mirror_op_timer_);
+  mirror_op_timer_ = sim::kInvalidEventId;
+
+  uint64_t local_high = AttestedHigh(local_it->second, options_.fi + 1);
+  uint64_t target_high = local_high;
+  net::SiteId ahead_peer = -1;
+  for (auto& [peer, replies] : mirror_status_) {
+    if (peer == site_) continue;
+    uint64_t attested = AttestedHigh(replies, options_.fi + 1);
+    if (attested > target_high) {
+      target_high = attested;
+      ahead_peer = peer;
+    }
+  }
+
+  if (target_high > local_high && ahead_peer >= 0) {
+    // Our mirror is missing entries that committed globally: fetch them
+    // from the most advanced peer, replay into the local mirror group,
+    // then re-run the status round until caught up.
+    BP_LOG(kInfo) << "participant " << site_ << " reconciling mirror of "
+                  << mirror_status_origin_ << ": " << local_high << " -> "
+                  << target_high;
+    MirrorFetchMsg fetch;
+    fetch.origin_site = mirror_status_origin_;
+    fetch.from_geo_pos = local_high;
+    Bytes encoded = fetch.Encode();
+    for (int i = 0; i < options_.fi + 1; ++i) {
+      SendTo(MirrorNodeId(ahead_peer, mirror_status_origin_, i),
+             kMirrorFetch, Bytes(encoded));
+    }
+    sim_->Cancel(mirror_op_timer_);
+    mirror_op_timer_ =
+        sim_->Schedule(options_.geo_retry, [this]() { StartMirrorOp(); });
+    return;
+  }
+
+  CommitMirrorRecord(mirror_status_origin_, target_high + 1);
+}
+
+void Participant::OnMirrorEntry(const net::Message& msg) {
+  MirrorEntryMsg entry;
+  if (!MirrorEntryMsg::Decode(msg.payload, &entry).ok()) return;
+  LogRecord outer;
+  if (!LogRecord::Decode(entry.record, &outer).ok()) return;
+  if (outer.type != RecordType::kMirrored) return;
+  // Replay into the local mirror group; verification re-checks the stored
+  // proof and the chain position, so a lying peer achieves nothing.
+  GeoReplicateMsg replicate;
+  replicate.acting_site = outer.src_site;
+  replicate.geo_pos = outer.geo_pos;
+  replicate.record = std::move(outer.payload);
+  replicate.sigs = std::move(outer.proof);
+  Bytes encoded = replicate.Encode();
+  for (int i = 0; i < options_.fi + 1; ++i) {
+    SendTo(MirrorNodeId(site_, entry.origin_site, i), kGeoReplicate,
+           Bytes(encoded));
+  }
+}
+
+void Participant::CommitMirrorRecord(net::SiteId origin, uint64_t geo_pos) {
+  mirror_status_.clear();
+  mirror_status_origin_ = -1;
+
+  ApiOp& op = ops_.front();
+  op.record.geo_pos = geo_pos;
+  Bytes inner = op.record.Encode();
+  crypto::Digest digest = crypto::Sha256Digest(inner);
+
+  LogRecord outer;
+  outer.type = RecordType::kMirrored;
+  outer.payload = inner;
+  outer.src_site = site_;
+  outer.geo_pos = geo_pos;
+  outer.proof.push_back(signer_->Sign(
+      AttestCanonical(AttestPurpose::kGeoSource, site_, geo_pos, digest)));
+
+  // Commit into the local mirror group, then replicate to the other
+  // mirror peers of the failed origin.
+  MirrorClient(origin)->Submit(
+      outer.Encode(), [this, origin, geo_pos, inner, digest](uint64_t) {
+        geo_round_ = std::make_unique<GeoRound>();
+        GeoRound& round = *geo_round_;
+        round.unit_pos = 0;
+        round.geo_pos = geo_pos;
+        round.origin = origin;
+        round.record_encoded = inner;
+        round.digest = digest;
+        for (net::SiteId peer : mirror_peers_[origin]) {
+          if (peer != site_ && peer != origin) round.targets.push_back(peer);
+        }
+        // Attestations come from the local mirror group this time.
+        AttestRequestMsg request;
+        request.purpose = AttestPurpose::kGeoSource;
+        request.pos = geo_pos;
+        Bytes encoded = request.Encode();
+        for (int i = 0; i < 3 * options_.fi + 1; ++i) {
+          SendTo(MirrorNodeId(site_, origin, i), kAttestRequest,
+                 Bytes(encoded));
+        }
+        round.retry_timer = sim_->Schedule(options_.geo_retry,
+                                           [this]() { ReplicateRound(); });
+      });
+}
+
+pbft::PbftClient* Participant::MirrorClient(net::SiteId origin) {
+  auto it = mirror_clients_.find(origin);
+  if (it != mirror_clients_.end()) return it->second.get();
+  pbft::PbftConfig group;
+  group.f = options_.fi;
+  for (int i = 0; i < 3 * options_.fi + 1; ++i) {
+    group.nodes.push_back(MirrorNodeId(site_, origin, i));
+  }
+  group.hash_payloads = options_.hash_payloads;
+  group.sign_messages = options_.sign_messages;
+  group.view_timeout = options_.local_view_timeout;
+  group.client_retry = options_.local_client_retry;
+  auto client = std::make_unique<pbft::PbftClient>(
+      network_, group,
+      net::NodeId{site_, kMirrorClientIndexBase + origin});
+  return mirror_clients_.emplace(origin, std::move(client))
+      .first->second.get();
+}
+
+// --- receive ---------------------------------------------------------------------
+
+void Participant::SetReceiveHandler(ReceiveHandler handler) {
+  receive_handler_ = std::move(handler);
+  // Drain anything already queued.
+  for (auto& [src, queue] : receive_queues_) {
+    while (!queue.empty() && receive_handler_) {
+      Bytes payload = std::move(queue.front());
+      queue.pop_front();
+      receive_handler_(src, payload);
+    }
+  }
+}
+
+bool Participant::TryReceive(net::SiteId src, Bytes* payload) {
+  auto it = receive_queues_.find(src);
+  if (it == receive_queues_.end() || it->second.empty()) return false;
+  *payload = std::move(it->second.front());
+  it->second.pop_front();
+  return true;
+}
+
+void Participant::OnDeliverNotice(const net::Message& msg) {
+  // Only this site's own unit nodes may feed our reception buffers.
+  if (msg.src.site != site_ || unit_group_.ReplicaIndex(msg.src) < 0) return;
+  DeliverNoticeMsg notice;
+  if (!DeliverNoticeMsg::Decode(msg.payload, &notice).ok()) return;
+  if (notice.src_log_pos <= delivered_pos_[notice.src_site]) return;
+
+  NoticeKey key{notice.src_site, notice.src_log_pos,
+                crypto::Sha256Digest(notice.payload)};
+  auto& votes = notice_votes_[key];
+  votes.insert(msg.src);
+  if (static_cast<int>(votes.size()) != options_.fi + 1) return;
+
+  // f_i+1 nodes delivered identical content: believe it, in source order.
+  ready_[notice.src_site][notice.src_log_pos] = {notice.prev_src_log_pos,
+                                                 std::move(notice.payload)};
+  auto& ready = ready_[notice.src_site];
+  uint64_t& delivered = delivered_pos_[notice.src_site];
+  while (!ready.empty()) {
+    auto first = ready.begin();
+    if (first->second.first != delivered) break;  // gap: wait for prev
+    Bytes payload = std::move(first->second.second);
+    delivered = first->first;
+    ready.erase(first);
+    if (receive_handler_) {
+      receive_handler_(notice.src_site, payload);
+    } else {
+      receive_queues_[notice.src_site].push_back(std::move(payload));
+    }
+  }
+}
+
+// --- read (§VI-A) -------------------------------------------------------------------
+
+void Participant::Read(uint64_t pos, ReadStrategy strategy, ReadCallback done) {
+  if (strategy == ReadStrategy::kLinearizable) {
+    // Strongest strategy: order the read itself in the log, then serve it
+    // with a quorum read at that point.
+    LogCommit(ToBytes("linearizable-read-marker"), 0,
+              [this, pos, done = std::move(done)](uint64_t) mutable {
+                Read(pos, ReadStrategy::kReadQuorum, std::move(done));
+              });
+    return;
+  }
+  uint64_t read_id = next_read_id_++;
+  PendingRead& pending = reads_[read_id];
+  pending.pos = pos;
+  pending.strategy = strategy;
+  pending.done = std::move(done);
+
+  ReadRequestMsg request;
+  request.read_id = read_id;
+  request.pos = pos;
+  Bytes encoded = request.Encode();
+  if (strategy == ReadStrategy::kReadOne) {
+    // Served from the closest node; if it is down or slow, widen to the
+    // whole unit after a grace period (the first response still wins).
+    SendTo(unit_group_.nodes[0], kReadRequest, Bytes(encoded));
+    pending.retry_timer = sim_->Schedule(
+        2 * options_.local_client_retry,
+        [this, read_id, encoded = std::move(encoded)]() {
+          auto it = reads_.find(read_id);
+          if (it == reads_.end()) return;
+          it->second.retry_timer = sim::kInvalidEventId;
+          for (const net::NodeId& node : unit_group_.nodes) {
+            SendTo(node, kReadRequest, Bytes(encoded));
+          }
+        });
+  } else {
+    for (const net::NodeId& node : unit_group_.nodes) {
+      SendTo(node, kReadRequest, Bytes(encoded));
+    }
+  }
+}
+
+void Participant::OnReadReply(const net::Message& msg) {
+  ReadReplyMsg reply;
+  if (!ReadReplyMsg::Decode(msg.payload, &reply).ok()) return;
+  auto it = reads_.find(reply.read_id);
+  if (it == reads_.end()) return;
+  if (msg.src.site != site_ || unit_group_.ReplicaIndex(msg.src) < 0) return;
+  PendingRead& pending = it->second;
+
+  LogRecord record;
+  crypto::Digest digest{};
+  if (reply.found) {
+    if (!LogRecord::Decode(reply.record, &record).ok()) return;
+    digest = record.ContentDigest();
+    pending.values[digest] = record;
+  }
+  auto& votes = pending.votes[digest];
+  votes.insert(msg.src);
+
+  int needed = pending.strategy == ReadStrategy::kReadOne
+                   ? 1
+                   : 2 * options_.fi + 1;
+  if (static_cast<int>(votes.size()) < needed) return;
+
+  ReadCallback done = std::move(pending.done);
+  bool found = reply.found;
+  LogRecord result = found ? pending.values[digest] : LogRecord{};
+  sim_->Cancel(pending.retry_timer);
+  reads_.erase(it);
+  if (done) {
+    if (found) {
+      done(Status::OK(), std::move(result));
+    } else {
+      done(Status::NotFound("no committed entry at position"), LogRecord{});
+    }
+  }
+}
+
+void Participant::HandleMessage(const net::Message& msg) {
+  switch (msg.type) {
+    case kDeliverNotice:
+      OnDeliverNotice(msg);
+      break;
+    case kAttestResponse:
+      OnAttestResponse(msg);
+      break;
+    case kGeoAck:
+      OnGeoAck(msg);
+      break;
+    case kRecvStatusReply:
+      OnRecvStatusReply(msg);
+      break;
+    case kMirrorEntry:
+      OnMirrorEntry(msg);
+      break;
+    case kReadReply:
+      OnReadReply(msg);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace blockplane::core

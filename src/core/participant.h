@@ -1,0 +1,204 @@
+// The user-space handle of one participant (§III): the programming model's
+// log-commit / read / send / receive interface, plus the geo-correlated
+// commit orchestration of §V.
+//
+// A Participant is the trusted user-space process of its organization; it
+// drives the protocol P. Durability and byzantine masking come from the
+// participant's 3f_i+1 Blockplane nodes, which the Participant talks to
+// through a PBFT client (local commits), attestation requests, and delivery
+// notices (of which it requires f_i+1 matching copies before believing a
+// received message).
+#ifndef BLOCKPLANE_CORE_PARTICIPANT_H_
+#define BLOCKPLANE_CORE_PARTICIPANT_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "core/node.h"
+#include "core/options.h"
+#include "core/wire.h"
+#include "pbft/client.h"
+
+namespace blockplane::core {
+
+/// How a Local Log entry is read back (§VI-A).
+enum class ReadStrategy {
+  /// Served by the closest node with the entry's validity proof.
+  kReadOne,
+  /// Waits for 2f_i+1 identical responses.
+  kReadQuorum,
+  /// Commits the read to the log like any entry (strongest).
+  kLinearizable,
+};
+
+class Participant : public net::Host {
+ public:
+  /// Called with the Local Log position once the operation is durable (and,
+  /// when fg > 0, geo-replicated to fg other participants).
+  using CommitCallback = std::function<void(uint64_t pos)>;
+  using ReceiveHandler =
+      std::function<void(net::SiteId src, const Bytes& payload)>;
+  using ReadCallback = std::function<void(Status, LogRecord)>;
+
+  /// `mirror_sites`: the 2*fg participants mirroring this site (empty when
+  /// fg == 0).
+  Participant(net::Network* network, crypto::KeyStore* keys,
+              BlockplaneOptions options, pbft::PbftConfig unit_group,
+              net::SiteId site, std::vector<net::SiteId> mirror_sites);
+  ~Participant() override;
+  BP_DISALLOW_COPY_AND_ASSIGN(Participant);
+
+  // --- the paper's user-level interface -------------------------------------
+
+  /// log-commit: appends an arbitrary value to the Local Log, surviving the
+  /// configured fault-tolerance level and ordered after all previous
+  /// commits.
+  void LogCommit(Bytes payload, uint64_t routine_id, CommitCallback done);
+
+  /// send: commits a communication record; the communication daemons take
+  /// it from there. `done` fires at local (plus geo, if fg>0) commitment —
+  /// not at remote delivery.
+  void Send(net::SiteId dest, Bytes payload, uint64_t routine_id,
+            CommitCallback done);
+
+  /// receive: next unconsumed message from `src`, in source-log order.
+  bool TryReceive(net::SiteId src, Bytes* payload);
+  /// Push-style receive (drains the same queues as TryReceive).
+  void SetReceiveHandler(ReceiveHandler handler);
+
+  /// read: fetches Local Log entry `pos` under the given strategy.
+  void Read(uint64_t pos, ReadStrategy strategy, ReadCallback done);
+
+  // --- geo failover (§V) ------------------------------------------------------
+
+  /// Acts as the primary for `origin` (a participant this site mirrors):
+  /// commits into the local mirror log and geo-replicates to the other
+  /// mirror sites. Used after `origin`'s datacenter fails.
+  void MirrorCommit(net::SiteId origin, Bytes payload, uint64_t routine_id,
+                    CommitCallback done);
+
+  /// Must be told the mirror topology before MirrorCommit: the sites
+  /// mirroring `origin` (including this one).
+  void SetMirrorPeers(net::SiteId origin, std::vector<net::SiteId> peers);
+
+  void HandleMessage(const net::Message& msg) override;
+
+  net::SiteId site() const { return site_; }
+  uint64_t commits_completed() const { return commits_completed_; }
+
+ private:
+  struct GeoRound {
+    uint64_t unit_pos = 0;  // 0 for MirrorCommit rounds
+    uint64_t geo_pos = 0;
+    net::SiteId origin;     // whose log stream
+    Bytes record_encoded;   // the replicated record R
+    crypto::Digest digest;  // Sha256(R)
+    std::vector<crypto::Signature> source_sigs;  // f_i+1 attestations
+    std::map<net::SiteId, std::set<net::NodeId>> ack_nodes;
+    /// Signatures accumulating toward a site's f_i+1 threshold.
+    std::map<net::SiteId, std::vector<crypto::Signature>> ack_sigs_partial;
+    /// Sites whose f_i+1-signature proof is complete.
+    std::map<net::SiteId, std::vector<crypto::Signature>> ack_sigs;
+    std::vector<net::SiteId> targets;  // mirror sites to replicate to
+    bool is_communication = false;
+    CommitCallback done;
+    sim::EventId retry_timer = sim::kInvalidEventId;
+  };
+
+  struct ApiOp {
+    LogRecord record;
+    CommitCallback done;
+    net::SiteId mirror_origin = -1;  // >= 0 for MirrorCommit ops
+  };
+
+  void EnqueueOp(ApiOp op);
+  void RunNextOp();
+  void OnLocalCommitted(uint64_t pos);
+  void StartGeoRound(uint64_t unit_pos);
+  void ReplicateRound();
+  void OnAttestResponse(const net::Message& msg);
+  void OnGeoAck(const net::Message& msg);
+  void FinishGeoRound();
+  void OnDeliverNotice(const net::Message& msg);
+  void OnRecvStatusReply(const net::Message& msg);
+  void OnReadReply(const net::Message& msg);
+  void StartMirrorOp();
+  void ProceedMirrorOp();
+  void CommitMirrorRecord(net::SiteId origin, uint64_t geo_pos);
+  void OnMirrorEntry(const net::Message& msg);
+  pbft::PbftClient* MirrorClient(net::SiteId origin);
+  void SendTo(net::NodeId dst, net::MessageType type, Bytes payload);
+
+  net::Network* network_;
+  sim::Simulator* sim_;
+  crypto::KeyStore* keys_;
+  std::unique_ptr<crypto::Signer> signer_;
+  BlockplaneOptions options_;
+  pbft::PbftConfig unit_group_;
+  net::SiteId site_;
+  net::NodeId self_;
+  std::vector<net::SiteId> mirror_sites_;
+  std::unique_ptr<pbft::PbftClient> client_;
+  std::map<net::SiteId, std::unique_ptr<pbft::PbftClient>> mirror_clients_;
+  std::map<net::SiteId, std::vector<net::SiteId>> mirror_peers_;
+
+  /// Serialized API operations (one commit in flight at a time — the
+  /// paper's group-commit rule; batching happens in the payload).
+  std::deque<ApiOp> ops_;
+  bool op_in_flight_ = false;
+  uint64_t geo_seq_ = 0;
+  uint64_t commits_completed_ = 0;
+  std::unique_ptr<GeoRound> geo_round_;
+
+  /// Mirror status collection for MirrorCommit: per site, per node, the
+  /// reported mirror-log high position. Before acting as primary, the
+  /// participant reconciles its local mirror with the most advanced peer
+  /// (§V: entries are on fg+1 participants, so some reachable mirror has
+  /// everything that ever committed).
+  std::map<net::SiteId, std::map<net::NodeId, uint64_t>> mirror_status_;
+  net::SiteId mirror_status_origin_ = -1;
+  sim::EventId mirror_op_timer_ = sim::kInvalidEventId;
+  bool mirror_op_proceeded_ = false;
+  /// Once acting as primary for an origin, the next stream position —
+  /// the reconciliation round only runs at takeover.
+  std::map<net::SiteId, uint64_t> acting_high_;
+
+  // --- receive machinery -------------------------------------------------------
+  struct NoticeKey {
+    net::SiteId src;
+    uint64_t pos;
+    crypto::Digest digest;
+    bool operator<(const NoticeKey& other) const {
+      if (src != other.src) return src < other.src;
+      if (pos != other.pos) return pos < other.pos;
+      return digest < other.digest;
+    }
+  };
+  std::map<NoticeKey, std::set<net::NodeId>> notice_votes_;
+  /// Confirmed but not yet in-order messages: src -> (pos -> (prev, data)).
+  std::map<net::SiteId, std::map<uint64_t, std::pair<uint64_t, Bytes>>>
+      ready_;
+  std::map<net::SiteId, uint64_t> delivered_pos_;
+  std::map<net::SiteId, std::deque<Bytes>> receive_queues_;
+  ReceiveHandler receive_handler_;
+
+  // --- read machinery ------------------------------------------------------------
+  struct PendingRead {
+    uint64_t pos = 0;
+    ReadStrategy strategy;
+    ReadCallback done;
+    std::map<crypto::Digest, std::set<net::NodeId>> votes;
+    std::map<crypto::Digest, LogRecord> values;
+    /// read-1 fallback: if the closest node is down, widen to the unit.
+    sim::EventId retry_timer = sim::kInvalidEventId;
+  };
+  std::map<uint64_t, PendingRead> reads_;  // by read id
+  uint64_t next_read_id_ = 1;
+};
+
+}  // namespace blockplane::core
+
+#endif  // BLOCKPLANE_CORE_PARTICIPANT_H_

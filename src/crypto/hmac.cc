@@ -1,0 +1,35 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace blockplane::crypto {
+
+Digest HmacSha256(const Bytes& key, const uint8_t* data, size_t len) {
+  constexpr size_t kBlock = 64;
+  uint8_t key_block[kBlock] = {0};
+  if (key.size() > kBlock) {
+    Digest kd = Sha256Digest(key);
+    std::memcpy(key_block, kd.data(), kd.size());
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+
+  uint8_t ipad[kBlock];
+  uint8_t opad[kBlock];
+  for (size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ipad, kBlock);
+  inner.Update(data, len);
+  Digest inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(opad, kBlock);
+  outer.Update(inner_digest.data(), inner_digest.size());
+  return outer.Finish();
+}
+
+}  // namespace blockplane::crypto

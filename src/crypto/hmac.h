@@ -1,0 +1,21 @@
+// HMAC-SHA256 (RFC 2104).
+#ifndef BLOCKPLANE_CRYPTO_HMAC_H_
+#define BLOCKPLANE_CRYPTO_HMAC_H_
+
+#include "crypto/sha256.h"
+
+namespace blockplane::crypto {
+
+/// Computes HMAC-SHA256(key, message).
+Digest HmacSha256(const Bytes& key, const uint8_t* data, size_t len);
+inline Digest HmacSha256(const Bytes& key, const Bytes& data) {
+  return HmacSha256(key, data.data(), data.size());
+}
+inline Digest HmacSha256(const Bytes& key, std::string_view s) {
+  return HmacSha256(key, reinterpret_cast<const uint8_t*>(s.data()),
+                    s.size());
+}
+
+}  // namespace blockplane::crypto
+
+#endif  // BLOCKPLANE_CRYPTO_HMAC_H_

@@ -1,0 +1,85 @@
+#include "crypto/signer.h"
+
+#include <set>
+
+#include "common/codec.h"
+
+namespace blockplane::crypto {
+
+std::unique_ptr<Signer> KeyStore::RegisterNode(net::NodeId node) {
+  auto it = keys_.find(node);
+  if (it == keys_.end()) {
+    // Deterministic per-node key material derived from a store-local seed.
+    Encoder enc;
+    enc.PutU64(next_key_seed_++);
+    enc.PutU32(static_cast<uint32_t>(node.site));
+    enc.PutU32(static_cast<uint32_t>(node.index));
+    Digest key = Sha256Digest(enc.buffer());
+    keys_.emplace(node, Bytes(key.begin(), key.end()));
+  }
+  return std::unique_ptr<Signer>(new Signer(this, node));
+}
+
+Digest KeyStore::SignAs(net::NodeId node, const Bytes& msg) const {
+  auto it = keys_.find(node);
+  BP_CHECK_MSG(it != keys_.end(), "signing for unregistered node");
+  return HmacSha256(it->second, msg);
+}
+
+bool KeyStore::Verify(const Bytes& msg, const Signature& sig) const {
+  auto it = keys_.find(sig.signer);
+  if (it == keys_.end()) return false;
+  return HmacSha256(it->second, msg) == sig.mac;
+}
+
+bool KeyStore::VerifyProof(const Bytes& msg,
+                           const std::vector<Signature>& proof,
+                           net::SiteId site, int threshold) const {
+  std::set<int32_t> distinct_signers;
+  for (const Signature& sig : proof) {
+    if (sig.signer.site != site) continue;
+    if (!Verify(msg, sig)) continue;
+    distinct_signers.insert(sig.signer.index);
+  }
+  return static_cast<int>(distinct_signers.size()) >= threshold;
+}
+
+void EncodeSignature(Encoder* enc, const Signature& sig) {
+  enc->PutU32(static_cast<uint32_t>(sig.signer.site));
+  enc->PutU32(static_cast<uint32_t>(sig.signer.index));
+  enc->PutRaw(sig.mac.data(), sig.mac.size());
+}
+
+Status DecodeSignature(Decoder* dec, Signature* out) {
+  uint32_t site = 0;
+  uint32_t index = 0;
+  BP_RETURN_NOT_OK(dec->GetU32(&site));
+  BP_RETURN_NOT_OK(dec->GetU32(&index));
+  out->signer.site = static_cast<int32_t>(site);
+  out->signer.index = static_cast<int32_t>(index);
+  for (auto& byte : out->mac) {
+    BP_RETURN_NOT_OK(dec->GetU8(&byte));
+  }
+  return Status::OK();
+}
+
+void EncodeProof(Encoder* enc, const std::vector<Signature>& proof) {
+  enc->PutVarint(proof.size());
+  for (const Signature& sig : proof) EncodeSignature(enc, sig);
+}
+
+Status DecodeProof(Decoder* dec, std::vector<Signature>* out) {
+  uint64_t n = 0;
+  BP_RETURN_NOT_OK(dec->GetVarint(&n));
+  if (n > 4096) return Status::Corruption("oversized proof");
+  out->clear();
+  out->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Signature sig;
+    BP_RETURN_NOT_OK(DecodeSignature(dec, &sig));
+    out->push_back(sig);
+  }
+  return Status::OK();
+}
+
+}  // namespace blockplane::crypto

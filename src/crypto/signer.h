@@ -1,0 +1,91 @@
+// Node signatures and multi-signature proofs.
+//
+// The paper's deployment assumes "the set of nodes and their public keys are
+// known to all nodes". We model digital signatures with HMAC-SHA256 under a
+// per-node secret held in a shared KeyStore: Sign(node, msg) succeeds only
+// when called through the node's own Signer handle, while any node can
+// Verify. This preserves the property the protocol needs — a byzantine node
+// cannot forge another node's signature — without pulling in a big-number
+// public-key implementation. (The paper's own prototype skipped signature
+// creation/checking entirely; see DESIGN.md §1.)
+#ifndef BLOCKPLANE_CRYPTO_SIGNER_H_
+#define BLOCKPLANE_CRYPTO_SIGNER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/macros.h"
+#include "common/status.h"
+#include "crypto/hmac.h"
+#include "net/node_id.h"
+
+namespace blockplane::crypto {
+
+/// A 32-byte signature over a message, attributable to a node.
+struct Signature {
+  net::NodeId signer;
+  Digest mac{};
+
+  friend bool operator==(const Signature& a, const Signature& b) {
+    return a.signer == b.signer && a.mac == b.mac;
+  }
+};
+
+class Signer;
+
+/// Registry of node keys for one simulated deployment.
+class KeyStore {
+ public:
+  KeyStore() = default;
+  BP_DISALLOW_COPY_AND_ASSIGN(KeyStore);
+
+  /// Generates and registers a key for `node` (idempotent), returning the
+  /// node's private signing handle.
+  std::unique_ptr<Signer> RegisterNode(net::NodeId node);
+
+  /// Verifies that `sig` is `sig.signer`'s signature over `msg`.
+  bool Verify(const Bytes& msg, const Signature& sig) const;
+
+  /// Verifies a proof: at least `threshold` valid signatures over `msg` from
+  /// *distinct* nodes of site `site`. Extra or invalid signatures are
+  /// ignored (a malicious sender may pad the list).
+  bool VerifyProof(const Bytes& msg, const std::vector<Signature>& proof,
+                   net::SiteId site, int threshold) const;
+
+ private:
+  friend class Signer;
+  Digest SignAs(net::NodeId node, const Bytes& msg) const;
+
+  std::unordered_map<net::NodeId, Bytes, net::NodeIdHash> keys_;
+  uint64_t next_key_seed_ = 0x517cc1b727220a95ULL;
+};
+
+/// A node's private signing capability. Only the KeyStore can mint these.
+class Signer {
+ public:
+  /// Signs a message as this node.
+  Signature Sign(const Bytes& msg) const {
+    return Signature{node_, store_->SignAs(node_, msg)};
+  }
+  net::NodeId node() const { return node_; }
+
+ private:
+  friend class KeyStore;
+  Signer(const KeyStore* store, net::NodeId node)
+      : store_(store), node_(node) {}
+
+  const KeyStore* store_;
+  net::NodeId node_;
+};
+
+/// Wire helpers for signatures and proofs.
+void EncodeSignature(Encoder* enc, const Signature& sig);
+Status DecodeSignature(Decoder* dec, Signature* out);
+void EncodeProof(Encoder* enc, const std::vector<Signature>& proof);
+Status DecodeProof(Decoder* dec, std::vector<Signature>* out);
+
+}  // namespace blockplane::crypto
+
+#endif  // BLOCKPLANE_CRYPTO_SIGNER_H_

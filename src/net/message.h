@@ -1,0 +1,30 @@
+// The unit of communication between simulated nodes.
+#ifndef BLOCKPLANE_NET_MESSAGE_H_
+#define BLOCKPLANE_NET_MESSAGE_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "net/node_id.h"
+
+namespace blockplane::net {
+
+/// Protocol-defined message type tag. Each protocol stack running on a node
+/// owns the full space; the reliable transport reserves the top bit for its
+/// control frames.
+using MessageType = uint32_t;
+
+struct Message {
+  NodeId src;
+  NodeId dst;
+  MessageType type = 0;
+  Bytes payload;
+
+  /// Modeled on-wire size (payload + headers). Filled by the network layer
+  /// when zero.
+  uint64_t wire_bytes = 0;
+};
+
+}  // namespace blockplane::net
+
+#endif  // BLOCKPLANE_NET_MESSAGE_H_

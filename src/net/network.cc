@@ -1,0 +1,149 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace blockplane::net {
+
+Network::Network(sim::Simulator* simulator, Topology topology,
+                 NetworkOptions options)
+    : sim_(simulator),
+      topology_(std::move(topology)),
+      options_(options),
+      rng_(simulator->rng().Fork()) {}
+
+void Network::Register(NodeId id, Host* host) {
+  BP_CHECK(id.valid());
+  BP_CHECK(id.site < topology_.num_sites());
+  hosts_[id] = host;
+}
+
+void Network::Unregister(NodeId id) { hosts_.erase(id); }
+
+void Network::Send(Message msg) {
+  BP_CHECK(msg.src.valid() && msg.dst.valid());
+  if (msg.wire_bytes == 0) {
+    msg.wire_bytes = msg.payload.size() + options_.header_bytes;
+  }
+
+  const bool local = msg.src.site == msg.dst.site;
+  counters_.Increment(local ? "lan_messages" : "wan_messages");
+  counters_.Increment(local ? "lan_bytes" : "wan_bytes",
+                      static_cast<int64_t>(msg.wire_bytes));
+
+  // A crashed sender emits nothing; a crashed destination hears nothing.
+  if (IsCrashed(msg.src) || IsCrashed(msg.dst)) {
+    counters_.Increment("dropped_messages");
+    return;
+  }
+  // Partitioned site pairs drop everything.
+  SiteId lo = std::min(msg.src.site, msg.dst.site);
+  SiteId hi = std::max(msg.src.site, msg.dst.site);
+  if (partitions_.count({lo, hi}) > 0) {
+    counters_.Increment("dropped_messages");
+    return;
+  }
+  if (options_.drop_prob > 0 && rng_.Bernoulli(options_.drop_prob)) {
+    counters_.Increment("dropped_messages");
+    return;
+  }
+  if (options_.corrupt_prob > 0 && !msg.payload.empty() &&
+      rng_.Bernoulli(options_.corrupt_prob)) {
+    // Flip one random byte; the reliable transport's checksum catches this.
+    size_t pos = rng_.NextBelow(msg.payload.size());
+    msg.payload[pos] ^= 0xff;
+    counters_.Increment("corrupted_messages");
+  }
+
+  const double bandwidth =
+      local ? options_.lan_bandwidth_bps : options_.wan_bandwidth_bps;
+  const sim::SimTime serialize = static_cast<sim::SimTime>(
+      static_cast<double>(msg.wire_bytes) / bandwidth * 1e9);
+
+  sim::SimTime& nic_free = nic_free_at_[msg.src];
+  sim::SimTime start = std::max(sim_->Now(), nic_free);
+  nic_free = start + serialize;
+
+  sim::SimTime propagate = local ? options_.intra_site_one_way
+                                 : topology_.OneWay(msg.src.site, msg.dst.site);
+  if (options_.jitter_frac > 0) {
+    propagate += static_cast<sim::SimTime>(
+        rng_.NextDouble() * options_.jitter_frac *
+        static_cast<double>(propagate));
+  }
+
+  sim::SimTime arrive = start + serialize + propagate;
+
+  // FIFO per (src, dst) pair: the paper's channels ride on TCP, so jitter
+  // must not reorder two messages between the same endpoints.
+  sim::SimTime& last_arrival = pair_last_arrival_[{msg.src, msg.dst}];
+  if (arrive <= last_arrival) arrive = last_arrival + 1;
+  last_arrival = arrive;
+
+  Deliver(msg, arrive);
+  if (options_.duplicate_prob > 0 && rng_.Bernoulli(options_.duplicate_prob)) {
+    Deliver(msg, arrive + sim::Microseconds(10));
+    counters_.Increment("duplicated_messages");
+  }
+}
+
+void Network::Deliver(const Message& msg, sim::SimTime arrive) {
+  // Two-stage delivery: the message first *arrives*, then queues on the
+  // destination's CPU. Claiming CPU time at arrival (not at send) keeps a
+  // long-flight wide-area message from reserving the receiver's CPU far in
+  // the future ahead of local traffic that actually arrives earlier.
+  sim_->ScheduleAt(arrive, [this, msg]() {
+    sim::SimTime& cpu_free = cpu_free_at_[msg.dst];
+    sim::SimTime handled_at =
+        std::max(sim_->Now(), cpu_free) + options_.per_message_cpu;
+    cpu_free = handled_at;
+    HandleAt(msg, handled_at);
+  });
+}
+
+void Network::HandleAt(const Message& msg, sim::SimTime handled_at) {
+  sim_->ScheduleAt(handled_at, [this, msg]() {
+    // Re-check crash state at delivery time: the destination may have
+    // crashed while the message was in flight.
+    if (IsCrashed(msg.dst)) {
+      counters_.Increment("dropped_messages");
+      return;
+    }
+    auto it = hosts_.find(msg.dst);
+    if (it == hosts_.end()) {
+      counters_.Increment("dropped_messages");
+      return;
+    }
+    it->second->HandleMessage(msg);
+  });
+}
+
+void Network::Crash(NodeId id) { crashed_.insert(id); }
+
+void Network::Recover(NodeId id) { crashed_.erase(id); }
+
+bool Network::IsCrashed(NodeId id) const {
+  return crashed_.count(id) > 0 || crashed_sites_.count(id.site) > 0;
+}
+
+void Network::CrashSite(SiteId site) {
+  BP_LOG(kInfo) << "site " << topology_.site_name(site) << " crashed";
+  crashed_sites_.insert(site);
+}
+
+void Network::RecoverSite(SiteId site) { crashed_sites_.erase(site); }
+
+bool Network::IsSiteCrashed(SiteId site) const {
+  return crashed_sites_.count(site) > 0;
+}
+
+void Network::PartitionSites(SiteId a, SiteId b) {
+  partitions_.insert({std::min(a, b), std::max(a, b)});
+}
+
+void Network::HealPartition(SiteId a, SiteId b) {
+  partitions_.erase({std::min(a, b), std::max(a, b)});
+}
+
+}  // namespace blockplane::net

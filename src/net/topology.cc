@@ -1,0 +1,144 @@
+#include "net/topology.h"
+
+#include <algorithm>
+
+namespace blockplane::net {
+
+Topology::Topology(std::vector<std::string> site_names,
+                   std::vector<std::vector<double>> rtt_ms)
+    : names_(std::move(site_names)) {
+  const size_t n = names_.size();
+  BP_CHECK(rtt_ms.size() == n);
+  rtt_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    BP_CHECK(rtt_ms[i].size() == n);
+    rtt_[i].resize(n);
+    for (size_t j = 0; j < n; ++j) {
+      BP_CHECK(rtt_ms[i][j] == rtt_ms[j][i]);
+      if (i == j) BP_CHECK(rtt_ms[i][j] == 0.0);
+      rtt_[i][j] = sim::MillisecondsD(rtt_ms[i][j]);
+    }
+  }
+}
+
+Topology Topology::Aws4() {
+  // Table I of the paper: average RTTs in ms between C, O, V, I.
+  return Topology({"California", "Oregon", "Virginia", "Ireland"},
+                  {
+                      {0, 19, 61, 130},   // C
+                      {19, 0, 79, 132},   // O
+                      {61, 79, 0, 70},    // V
+                      {130, 132, 70, 0},  // I
+                  });
+}
+
+Topology Topology::SingleSite(const std::string& name) {
+  return Topology({name}, {{0}});
+}
+
+Topology Topology::Uniform(int num_sites, double rtt_ms) {
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> rtt(num_sites,
+                                       std::vector<double>(num_sites, rtt_ms));
+  for (int i = 0; i < num_sites; ++i) {
+    names.push_back("site" + std::to_string(i));
+    rtt[i][i] = 0.0;
+  }
+  return Topology(std::move(names), std::move(rtt));
+}
+
+StatusOr<Topology> Topology::Parse(const std::string& spec) {
+  auto semicolon = spec.find(';');
+  if (semicolon == std::string::npos) {
+    return Status::InvalidArgument("topology spec needs 'names; pairs'");
+  }
+
+  auto split = [](const std::string& text, char sep) {
+    std::vector<std::string> out;
+    std::string current;
+    for (char c : text) {
+      if (c == sep || c == ' ' || c == '\t' || c == '\n') {
+        if (!current.empty()) out.push_back(current);
+        current.clear();
+        continue;
+      }
+      current.push_back(c);
+    }
+    if (!current.empty()) out.push_back(current);
+    return out;
+  };
+
+  std::vector<std::string> names = split(spec.substr(0, semicolon), ',');
+  if (names.size() < 2) {
+    return Status::InvalidArgument("topology needs at least two sites");
+  }
+  auto index_of = [&](const std::string& name) {
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  };
+
+  const size_t n = names.size();
+  std::vector<std::vector<double>> rtt(n, std::vector<double>(n, -1.0));
+  for (size_t i = 0; i < n; ++i) rtt[i][i] = 0.0;
+
+  for (const std::string& entry : split(spec.substr(semicolon + 1), ' ')) {
+    auto dash = entry.find('-');
+    auto colon = entry.find(':');
+    if (dash == std::string::npos || colon == std::string::npos ||
+        colon < dash) {
+      return Status::InvalidArgument("bad pair entry: " + entry);
+    }
+    int a = index_of(entry.substr(0, dash));
+    int b = index_of(entry.substr(dash + 1, colon - dash - 1));
+    if (a < 0 || b < 0 || a == b) {
+      return Status::InvalidArgument("unknown site in entry: " + entry);
+    }
+    char* end = nullptr;
+    std::string value = entry.substr(colon + 1);
+    double ms = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || ms < 0) {
+      return Status::InvalidArgument("bad RTT in entry: " + entry);
+    }
+    if (rtt[a][b] >= 0) {
+      return Status::InvalidArgument("duplicate pair: " + entry);
+    }
+    rtt[a][b] = ms;
+    rtt[b][a] = ms;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (rtt[i][j] < 0) {
+        return Status::InvalidArgument("missing RTT for pair " + names[i] +
+                                       "-" + names[j]);
+      }
+    }
+  }
+  return Topology(std::move(names), std::move(rtt));
+}
+
+sim::SimTime Topology::Rtt(int a, int b) const {
+  BP_CHECK(a >= 0 && a < num_sites() && b >= 0 && b < num_sites());
+  return rtt_[a][b];
+}
+
+std::vector<int> Topology::SitesByProximity(int from) const {
+  std::vector<int> sites;
+  for (int s = 0; s < num_sites(); ++s) {
+    if (s != from) sites.push_back(s);
+  }
+  std::stable_sort(sites.begin(), sites.end(), [&](int a, int b) {
+    return Rtt(from, a) < Rtt(from, b);
+  });
+  return sites;
+}
+
+sim::SimTime Topology::RttToKthClosest(int from, int k) const {
+  BP_CHECK(k >= 1);
+  std::vector<int> sites = SitesByProximity(from);
+  BP_CHECK(static_cast<size_t>(k) <= sites.size());
+  return Rtt(from, sites[k - 1]);
+}
+
+}  // namespace blockplane::net

@@ -1,0 +1,70 @@
+// Wide-area topology: sites (datacenters) and the round-trip times between
+// them. The default topology is the paper's Table I — the four AWS regions
+// California (C), Oregon (O), Virginia (V), and Ireland (I).
+#ifndef BLOCKPLANE_NET_TOPOLOGY_H_
+#define BLOCKPLANE_NET_TOPOLOGY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status_or.h"
+#include "sim/sim_time.h"
+
+namespace blockplane::net {
+
+class Topology {
+ public:
+  /// Builds a topology from a symmetric RTT matrix in milliseconds.
+  /// rtt_ms[i][j] must equal rtt_ms[j][i] and rtt_ms[i][i] must be 0.
+  Topology(std::vector<std::string> site_names,
+           std::vector<std::vector<double>> rtt_ms);
+
+  /// The paper's Table I: C, O, V, I with RTTs 19–132 ms.
+  /// Site order (and thus SiteId values): C=0, O=1, V=2, I=3.
+  static Topology Aws4();
+
+  /// A single-site topology (for local-commit experiments).
+  static Topology SingleSite(const std::string& name = "local");
+
+  /// Uniform n-site topology with the same RTT between every pair — handy
+  /// for property tests.
+  static Topology Uniform(int num_sites, double rtt_ms);
+
+  /// Parses a topology spec of the form
+  ///   "A,B,C; A-B:19 A-C:61 B-C:79"
+  /// (site names, then RTTs in milliseconds for every pair). Every pair
+  /// must appear exactly once.
+  static StatusOr<Topology> Parse(const std::string& spec);
+
+  int num_sites() const { return static_cast<int>(names_.size()); }
+  const std::string& site_name(int site) const { return names_[site]; }
+
+  /// Round-trip time between two sites (0 for a == b).
+  sim::SimTime Rtt(int a, int b) const;
+
+  /// One-way propagation delay between sites (Rtt/2).
+  sim::SimTime OneWay(int a, int b) const { return Rtt(a, b) / 2; }
+
+  /// Sites sorted by RTT from `from`, excluding `from` itself.
+  std::vector<int> SitesByProximity(int from) const;
+
+  /// RTT from `from` to its k-th closest other site (k >= 1).
+  sim::SimTime RttToKthClosest(int from, int k) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<sim::SimTime>> rtt_;
+};
+
+/// Site indices for Topology::Aws4().
+enum Aws4Site : int {
+  kCalifornia = 0,
+  kOregon = 1,
+  kVirginia = 2,
+  kIreland = 3,
+};
+
+}  // namespace blockplane::net
+
+#endif  // BLOCKPLANE_NET_TOPOLOGY_H_

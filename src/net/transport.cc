@@ -1,0 +1,193 @@
+#include "net/transport.h"
+
+#include <algorithm>
+
+#include "common/crc32.h"
+
+namespace blockplane::net {
+
+namespace {
+
+// Transport frames reserve the top bit of the MessageType space.
+constexpr MessageType kDataFrame = 0x80000001u;
+constexpr MessageType kAckFrame = 0x80000002u;
+
+Bytes EncodeDataFrame(uint64_t seq, MessageType app_type,
+                      const Bytes& payload) {
+  Encoder enc;
+  enc.PutU64(seq);
+  enc.PutU32(app_type);
+  enc.PutBytes(payload);
+  enc.PutU32(Crc32(enc.buffer()));
+  return enc.Take();
+}
+
+}  // namespace
+
+ReliableTransport::ReliableTransport(Network* network, NodeId self,
+                                     Handler handler, TransportOptions options)
+    : network_(network),
+      self_(self),
+      handler_(std::move(handler)),
+      options_(options) {
+  network_->Register(self_, this);
+}
+
+ReliableTransport::~ReliableTransport() {
+  for (auto& [dst, peer] : send_state_) {
+    for (auto& [seq, pending] : peer.in_flight) {
+      network_->simulator()->Cancel(pending.timer);
+    }
+  }
+  network_->Unregister(self_);
+}
+
+sim::SimTime ReliableTransport::RtoFor(NodeId dst, int retries) const {
+  sim::SimTime rtt = dst.site == self_.site
+                         ? 2 * network_->options().intra_site_one_way
+                         : network_->topology().Rtt(self_.site, dst.site);
+  double factor = 1.0;
+  for (int i = 0; i < retries; ++i) factor *= options_.backoff;
+  sim::SimTime rto = options_.base_rto + rtt;
+  rto = static_cast<sim::SimTime>(static_cast<double>(rto) * factor);
+  return std::min(rto, options_.max_rto);
+}
+
+void ReliableTransport::Send(NodeId dst, MessageType type, Bytes payload) {
+  PeerSend& peer = send_state_[dst];
+  uint64_t seq = peer.next_seq++;
+  Pending pending;
+  pending.frame = EncodeDataFrame(seq, type, payload);
+  peer.in_flight.emplace(seq, std::move(pending));
+  TransmitFrame(dst, seq);
+  ArmTimer(dst, seq);
+}
+
+void ReliableTransport::TransmitFrame(NodeId dst, uint64_t seq) {
+  const Pending& pending = send_state_[dst].in_flight.at(seq);
+  Message msg;
+  msg.src = self_;
+  msg.dst = dst;
+  msg.type = kDataFrame;
+  msg.payload = pending.frame;
+  network_->Send(std::move(msg));
+}
+
+void ReliableTransport::ArmTimer(NodeId dst, uint64_t seq) {
+  Pending& pending = send_state_[dst].in_flight.at(seq);
+  pending.timer = network_->simulator()->Schedule(
+      RtoFor(dst, pending.retries), [this, dst, seq]() {
+        auto peer_it = send_state_.find(dst);
+        if (peer_it == send_state_.end()) return;
+        auto it = peer_it->second.in_flight.find(seq);
+        if (it == peer_it->second.in_flight.end()) return;  // acked
+        Pending& p = it->second;
+        if (++p.retries > options_.max_retries) {
+          peer_it->second.in_flight.erase(it);  // peer presumed dead
+          return;
+        }
+        ++retransmissions_;
+        TransmitFrame(dst, seq);
+        ArmTimer(dst, seq);
+      });
+}
+
+void ReliableTransport::HandleMessage(const Message& raw) {
+  switch (raw.type) {
+    case kDataFrame:
+      HandleDataFrame(raw);
+      break;
+    case kAckFrame:
+      HandleAckFrame(raw);
+      break;
+    default:
+      // Not a transport frame; a peer is speaking raw Network at us.
+      // Deliver as-is so mixed deployments keep working.
+      handler_(raw);
+  }
+}
+
+void ReliableTransport::HandleDataFrame(const Message& raw) {
+  // Verify the checksum before trusting any field.
+  if (raw.payload.size() < 4) {
+    ++discarded_corrupt_;
+    return;
+  }
+  Decoder crc_dec(raw.payload.data() + raw.payload.size() - 4, 4);
+  uint32_t expected_crc = 0;
+  BP_CHECK(crc_dec.GetU32(&expected_crc).ok());
+  if (Crc32(raw.payload.data(), raw.payload.size() - 4) != expected_crc) {
+    ++discarded_corrupt_;  // corrupted in flight; sender will retransmit
+    return;
+  }
+
+  Decoder dec(raw.payload.data(), raw.payload.size() - 4);
+  uint64_t seq = 0;
+  MessageType app_type = 0;
+  Bytes payload;
+  if (!dec.GetU64(&seq).ok() || !dec.GetU32(&app_type).ok() ||
+      !dec.GetBytes(&payload).ok()) {
+    ++discarded_corrupt_;
+    return;
+  }
+
+  // Always ack, even duplicates (the first ack may have been dropped).
+  // Acks are checksummed too: a corrupted ack must not decode as a valid
+  // acknowledgement of a different (undelivered) frame.
+  Encoder ack;
+  ack.PutU64(seq);
+  ack.PutU32(Crc32(ack.buffer()));
+  Message ack_msg;
+  ack_msg.src = self_;
+  ack_msg.dst = raw.src;
+  ack_msg.type = kAckFrame;
+  ack_msg.payload = ack.Take();
+  network_->Send(std::move(ack_msg));
+
+  PeerRecv& peer = recv_state_[raw.src];
+  if (seq < peer.next_expected) return;  // duplicate
+  if (seq > peer.next_expected) {
+    peer.pending.emplace(seq, std::make_pair(app_type, std::move(payload)));
+    return;
+  }
+  // In-order: deliver, then drain any buffered successors.
+  Message out;
+  out.src = raw.src;
+  out.dst = self_;
+  out.type = app_type;
+  out.payload = std::move(payload);
+  peer.next_expected++;
+  handler_(out);
+  while (true) {
+    auto it = peer.pending.find(peer.next_expected);
+    if (it == peer.pending.end()) break;
+    Message next;
+    next.src = raw.src;
+    next.dst = self_;
+    next.type = it->second.first;
+    next.payload = std::move(it->second.second);
+    peer.pending.erase(it);
+    peer.next_expected++;
+    handler_(next);
+  }
+}
+
+void ReliableTransport::HandleAckFrame(const Message& raw) {
+  Decoder dec(raw.payload);
+  uint64_t seq = 0;
+  uint32_t crc = 0;
+  if (!dec.GetU64(&seq).ok() || !dec.GetU32(&crc).ok()) return;
+  if (raw.payload.size() < 12 ||
+      Crc32(raw.payload.data(), 8) != crc) {
+    ++discarded_corrupt_;
+    return;
+  }
+  auto peer_it = send_state_.find(raw.src);
+  if (peer_it == send_state_.end()) return;
+  auto it = peer_it->second.in_flight.find(seq);
+  if (it == peer_it->second.in_flight.end()) return;
+  network_->simulator()->Cancel(it->second.timer);
+  peer_it->second.in_flight.erase(it);
+}
+
+}  // namespace blockplane::net

@@ -1,0 +1,125 @@
+#include "paxos/message.h"
+
+namespace blockplane::paxos {
+
+Bytes PrepareMsg::Encode() const {
+  Encoder enc;
+  enc.PutU64(ballot);
+  enc.PutU64(from_slot);
+  return enc.Take();
+}
+
+Status PrepareMsg::Decode(const Bytes& buf, PrepareMsg* out) {
+  Decoder dec(buf);
+  BP_RETURN_NOT_OK(dec.GetU64(&out->ballot));
+  return dec.GetU64(&out->from_slot);
+}
+
+Bytes PromiseMsg::Encode() const {
+  Encoder enc;
+  enc.PutU64(ballot);
+  enc.PutU64(last_committed);
+  enc.PutVarint(accepted.size());
+  for (const AcceptedEntry& entry : accepted) {
+    enc.PutU64(entry.slot);
+    enc.PutU64(entry.ballot);
+    enc.PutBytes(entry.value);
+  }
+  return enc.Take();
+}
+
+Status PromiseMsg::Decode(const Bytes& buf, PromiseMsg* out) {
+  Decoder dec(buf);
+  BP_RETURN_NOT_OK(dec.GetU64(&out->ballot));
+  BP_RETURN_NOT_OK(dec.GetU64(&out->last_committed));
+  uint64_t n = 0;
+  BP_RETURN_NOT_OK(dec.GetVarint(&n));
+  if (n > 1000000) return Status::Corruption("oversized promise");
+  out->accepted.clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    AcceptedEntry entry;
+    BP_RETURN_NOT_OK(dec.GetU64(&entry.slot));
+    BP_RETURN_NOT_OK(dec.GetU64(&entry.ballot));
+    BP_RETURN_NOT_OK(dec.GetBytes(&entry.value));
+    out->accepted.push_back(std::move(entry));
+  }
+  return Status::OK();
+}
+
+Bytes AcceptMsg::Encode() const {
+  Encoder enc;
+  enc.PutU64(ballot);
+  enc.PutU64(slot);
+  enc.PutBytes(value);
+  return enc.Take();
+}
+
+Status AcceptMsg::Decode(const Bytes& buf, AcceptMsg* out) {
+  Decoder dec(buf);
+  BP_RETURN_NOT_OK(dec.GetU64(&out->ballot));
+  BP_RETURN_NOT_OK(dec.GetU64(&out->slot));
+  return dec.GetBytes(&out->value);
+}
+
+Bytes AcceptedMsg::Encode() const {
+  Encoder enc;
+  enc.PutU64(ballot);
+  enc.PutU64(slot);
+  return enc.Take();
+}
+
+Status AcceptedMsg::Decode(const Bytes& buf, AcceptedMsg* out) {
+  Decoder dec(buf);
+  BP_RETURN_NOT_OK(dec.GetU64(&out->ballot));
+  return dec.GetU64(&out->slot);
+}
+
+Bytes NackMsg::Encode() const {
+  Encoder enc;
+  enc.PutU64(promised);
+  return enc.Take();
+}
+
+Status NackMsg::Decode(const Bytes& buf, NackMsg* out) {
+  Decoder dec(buf);
+  return dec.GetU64(&out->promised);
+}
+
+Bytes LearnMsg::Encode() const {
+  Encoder enc;
+  enc.PutU64(slot);
+  enc.PutBytes(value);
+  return enc.Take();
+}
+
+Status LearnMsg::Decode(const Bytes& buf, LearnMsg* out) {
+  Decoder dec(buf);
+  BP_RETURN_NOT_OK(dec.GetU64(&out->slot));
+  return dec.GetBytes(&out->value);
+}
+
+Bytes HeartbeatMsg::Encode() const {
+  Encoder enc;
+  enc.PutU64(ballot);
+  enc.PutU64(last_committed);
+  return enc.Take();
+}
+
+Status HeartbeatMsg::Decode(const Bytes& buf, HeartbeatMsg* out) {
+  Decoder dec(buf);
+  BP_RETURN_NOT_OK(dec.GetU64(&out->ballot));
+  return dec.GetU64(&out->last_committed);
+}
+
+Bytes ForwardMsg::Encode() const {
+  Encoder enc;
+  enc.PutBytes(value);
+  return enc.Take();
+}
+
+Status ForwardMsg::Decode(const Bytes& buf, ForwardMsg* out) {
+  Decoder dec(buf);
+  return dec.GetBytes(&out->value);
+}
+
+}  // namespace blockplane::paxos

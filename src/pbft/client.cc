@@ -1,0 +1,93 @@
+#include "pbft/client.h"
+
+namespace blockplane::pbft {
+
+PbftClient::PbftClient(net::Network* network, PbftConfig config,
+                       net::NodeId self)
+    : network_(network),
+      sim_(network->simulator()),
+      config_(std::move(config)),
+      self_(self),
+      token_(ClientToken(self)) {
+  network_->Register(self_, this);
+}
+
+PbftClient::~PbftClient() {
+  for (auto& [req_id, pending] : pending_) {
+    sim_->Cancel(pending.retry_timer);
+  }
+  network_->Unregister(self_);
+}
+
+void PbftClient::Submit(Bytes value, DoneCallback done) {
+  uint64_t req_id = next_req_id_++;
+  PendingRequest& pending = pending_[req_id];
+  pending.value = std::move(value);
+  pending.done = std::move(done);
+  SendRequest(req_id, /*broadcast=*/false);
+  ArmRetry(req_id);
+}
+
+void PbftClient::SendRequest(uint64_t req_id, bool broadcast) {
+  auto it = pending_.find(req_id);
+  if (it == pending_.end()) return;
+  RequestMsg request;
+  request.client_token = token_;
+  request.req_id = req_id;
+  request.value = it->second.value;
+  Bytes encoded = request.Encode();
+
+  auto send_to = [&](net::NodeId dst) {
+    net::Message msg;
+    msg.src = self_;
+    msg.dst = dst;
+    msg.type = kRequest;
+    msg.payload = encoded;
+    network_->Send(std::move(msg));
+  };
+  if (broadcast) {
+    for (const net::NodeId& node : config_.nodes) send_to(node);
+  } else {
+    send_to(config_.LeaderOf(view_hint_));
+  }
+}
+
+void PbftClient::ArmRetry(uint64_t req_id) {
+  auto it = pending_.find(req_id);
+  if (it == pending_.end()) return;
+  it->second.retry_timer =
+      sim_->Schedule(config_.client_retry, [this, req_id]() {
+        auto pending_it = pending_.find(req_id);
+        if (pending_it == pending_.end()) return;
+        // The leader may be faulty: broadcast so every replica sees the
+        // request and can push for a view change.
+        pending_it->second.broadcast = true;
+        SendRequest(req_id, /*broadcast=*/true);
+        ArmRetry(req_id);
+      });
+}
+
+void PbftClient::HandleMessage(const net::Message& msg) {
+  if (msg.type != kReply) return;
+  ReplyMsg reply;
+  if (!ReplyMsg::Decode(msg.payload, &reply).ok()) return;
+  int sender = config_.ReplicaIndex(msg.src);
+  if (sender < 0 || sender != reply.replica) return;
+
+  auto it = pending_.find(reply.req_id);
+  if (it == pending_.end()) return;  // already completed or never sent
+  view_hint_ = std::max(view_hint_, reply.view);
+
+  auto& votes = it->second.votes[reply.seq];
+  votes.insert(sender);
+  if (static_cast<int>(votes.size()) < config_.f + 1) return;
+
+  // f+1 matching replies: at least one is from an honest replica.
+  DoneCallback done = std::move(it->second.done);
+  sim_->Cancel(it->second.retry_timer);
+  pending_.erase(it);
+  ++completed_;
+  if (done) done(reply.seq);
+}
+
+}  // namespace blockplane::pbft

@@ -1,0 +1,66 @@
+// A PBFT client: submits requests to the leader and accepts a result once
+// f+1 replicas send matching replies (up to f repliers may be lying).
+// Retransmits by broadcasting to all replicas, which triggers a view change
+// if the leader is censoring the request.
+//
+// Blockplane's Participant handle uses a PbftClient per unit to drive
+// local-commit (§IV-B); clients are their own (co-located) network nodes.
+#ifndef BLOCKPLANE_PBFT_CLIENT_H_
+#define BLOCKPLANE_PBFT_CLIENT_H_
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "net/network.h"
+#include "pbft/config.h"
+#include "pbft/message.h"
+
+namespace blockplane::pbft {
+
+class PbftClient : public net::Host {
+ public:
+  /// Called with the sequence number the group assigned to the request.
+  using DoneCallback = std::function<void(uint64_t seq)>;
+
+  PbftClient(net::Network* network, PbftConfig config, net::NodeId self);
+  ~PbftClient() override;
+  BP_DISALLOW_COPY_AND_ASSIGN(PbftClient);
+
+  /// Submits a value for total-order commit. Multiple requests may be
+  /// outstanding; each completes via its own callback.
+  void Submit(Bytes value, DoneCallback done);
+
+  void HandleMessage(const net::Message& msg) override;
+
+  net::NodeId self() const { return self_; }
+  uint64_t completed() const { return completed_; }
+
+ private:
+  struct PendingRequest {
+    Bytes value;
+    DoneCallback done;
+    /// (seq) -> replica indices that replied with that seq.
+    std::map<uint64_t, std::set<int32_t>> votes;
+    sim::EventId retry_timer = sim::kInvalidEventId;
+    bool broadcast = false;
+  };
+
+  void SendRequest(uint64_t req_id, bool broadcast);
+  void ArmRetry(uint64_t req_id);
+
+  net::Network* network_;
+  sim::Simulator* sim_;
+  PbftConfig config_;
+  net::NodeId self_;
+  uint64_t token_;
+  uint64_t next_req_id_ = 1;
+  uint64_t completed_ = 0;
+  /// Best guess of the current leader (updated from reply views).
+  uint64_t view_hint_ = 0;
+  std::map<uint64_t, PendingRequest> pending_;
+};
+
+}  // namespace blockplane::pbft
+
+#endif  // BLOCKPLANE_PBFT_CLIENT_H_

@@ -1,0 +1,14 @@
+#include "pbft/config.h"
+
+namespace blockplane::pbft {
+
+PbftConfig UnitConfig(net::SiteId site, int f) {
+  PbftConfig config;
+  config.f = f;
+  for (int i = 0; i < 3 * f + 1; ++i) {
+    config.nodes.push_back(net::NodeId{site, i});
+  }
+  return config;
+}
+
+}  // namespace blockplane::pbft

@@ -1,0 +1,899 @@
+#include "pbft/replica.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "crypto/sha256.h"
+
+namespace blockplane::pbft {
+
+PbftReplica::PbftReplica(net::Network* network, crypto::KeyStore* keys,
+                         PbftConfig config, net::NodeId self,
+                         ExecuteCallback execute)
+    : network_(network),
+      sim_(network->simulator()),
+      keys_(keys),
+      config_(std::move(config)),
+      self_(self),
+      execute_(std::move(execute)) {
+  config_.Validate();
+  index_ = config_.ReplicaIndex(self_);
+  BP_CHECK_MSG(index_ >= 0, "replica is not a member of its own group");
+  signer_ = keys_->RegisterNode(self_);
+  state_digest_.fill(0);
+}
+
+void PbftReplica::RegisterWithNetwork() { network_->Register(self_, this); }
+
+template <typename Map>
+int PbftReplica::CountMatching(const Map& votes, const Digest& digest) {
+  int count = 0;
+  for (const auto& [index, vote] : votes) {
+    if constexpr (std::is_same_v<std::decay_t<decltype(vote)>, Digest>) {
+      if (vote == digest) ++count;
+    } else {
+      if (vote.digest == digest) ++count;
+    }
+  }
+  return count;
+}
+
+void PbftReplica::HandleMessage(const net::Message& msg) {
+  if (byzantine_ == ByzantineMode::kSilent) return;
+  switch (msg.type) {
+    case kRequest:
+      OnRequest(msg);
+      break;
+    case kPrePrepare:
+      OnPrePrepare(msg);
+      break;
+    case kPrepare:
+      OnPrepare(msg);
+      break;
+    case kCommit:
+      OnCommit(msg);
+      break;
+    case kCheckpoint:
+      OnCheckpoint(msg);
+      break;
+    case kViewChange:
+      OnViewChange(msg);
+      break;
+    case kNewView:
+      OnNewView(msg);
+      break;
+    case kFetchCommitted:
+      OnFetchCommitted(msg);
+      break;
+    case kCommittedEntry:
+      OnCommittedEntry(msg);
+      break;
+    case kFetchSnapshot:
+      OnFetchSnapshot(msg);
+      break;
+    case kSnapshot:
+      OnSnapshot(msg);
+      break;
+    default:
+      break;  // not a PBFT message; ignore
+  }
+}
+
+// --- plumbing ---------------------------------------------------------------
+
+void PbftReplica::Broadcast(net::MessageType type, const Bytes& payload) {
+  for (const net::NodeId& node : config_.nodes) {
+    if (node == self_) continue;
+    SendTo(node, type, payload);
+  }
+}
+
+void PbftReplica::SendTo(net::NodeId dst, net::MessageType type,
+                         Bytes payload) {
+  net::Message msg;
+  msg.src = self_;
+  msg.dst = dst;
+  msg.type = type;
+  msg.payload = std::move(payload);
+  network_->Send(std::move(msg));
+}
+
+Signature PbftReplica::Sign(const Bytes& canonical) const {
+  if (!config_.sign_messages) return Signature{self_, {}};
+  return signer_->Sign(canonical);
+}
+
+bool PbftReplica::VerifySig(const Bytes& canonical,
+                            const Signature& sig) const {
+  if (!config_.sign_messages) return true;
+  return keys_->Verify(canonical, sig);
+}
+
+bool PbftReplica::RunVerifier(const Bytes& value) const {
+  if (byzantine_ == ByzantineMode::kRejectVerification) return false;
+  if (!verifier_) return true;
+  if (value.empty()) return true;  // no-op gap filler
+  return verifier_(value);
+}
+
+// --- client requests ---------------------------------------------------------
+
+void PbftReplica::OnRequest(const net::Message& msg) {
+  RequestMsg request;
+  if (!RequestMsg::Decode(msg.payload, &request).ok()) return;
+
+  // Already executed? Re-send the cached reply (the client's first reply
+  // may have been lost).
+  auto executed_it = executed_reqs_.find(request.client_token);
+  if (executed_it != executed_reqs_.end() &&
+      executed_it->second.count(request.req_id) > 0) {
+    auto client_it = cached_replies_.find(request.client_token);
+    if (client_it != cached_replies_.end()) {
+      auto reply_it = client_it->second.find(request.req_id);
+      if (reply_it != client_it->second.end()) {
+        SendTo(ClientFromToken(request.client_token), kReply,
+               reply_it->second);
+      }
+    }
+    return;
+  }
+
+  if (IsLeader() && !in_view_change_) {
+    auto key = std::make_pair(request.client_token, request.req_id);
+    if (assigned_requests_.count(key) > 0) return;  // already proposed
+    assigned_requests_.insert(key);
+    pending_requests_.push_back(std::move(request));
+    MaybeProposeNext();
+    return;
+  }
+
+  // A request our own verification routine rejects will (rightly) be
+  // censored by an honest leader; forwarding or watching it would only
+  // provoke pointless view changes.
+  if (!RunVerifier(request.value)) return;
+
+  // Backup: forward to the current leader and watch for progress. If the
+  // leader censors the request, the watchdog forces a view change.
+  SendTo(leader(), kRequest, msg.payload);
+  auto key = std::make_pair(request.client_token, request.req_id);
+  if (watched_requests_.count(key) > 0) return;
+  sim::EventId timer = sim_->Schedule(config_.view_timeout, [this, key]() {
+    watched_requests_.erase(key);
+    // The quorum may have executed the request without us; fetch decided
+    // entries before blaming the leader.
+    CatchUp();
+    StartViewChange(view_ + 1);
+  });
+  watched_requests_[key] = timer;
+}
+
+void PbftReplica::MaybeProposeNext() {
+  if (!IsLeader() || in_view_change_ || proposal_outstanding_) return;
+  while (!pending_requests_.empty()) {
+    RequestMsg request = std::move(pending_requests_.front());
+    pending_requests_.pop_front();
+    // An honest leader does not propose values its own verification
+    // routine rejects (e.g. a receive that another node already committed);
+    // proposing them would stall the group into a needless view change.
+    if (!RunVerifier(request.value)) continue;
+    Propose(request.client_token, request.req_id, std::move(request.value));
+    return;
+  }
+}
+
+void PbftReplica::Propose(uint64_t client_token, uint64_t req_id,
+                          Bytes value) {
+  uint64_t seq = next_seq_++;
+  proposal_outstanding_ = true;
+  outstanding_seq_ = seq;
+
+  PrePrepareMsg pp;
+  pp.view = view_;
+  pp.seq = seq;
+  pp.digest = DigestOf(value);
+  pp.client_token = client_token;
+  pp.req_id = req_id;
+  pp.value = std::move(value);
+  pp.sig = Sign(pp.CanonicalHeader());
+
+  Instance& instance = instances_[seq];
+  instance.view = view_;
+  instance.digest = pp.digest;
+  instance.has_preprepare = true;
+  instance.preprepare_sig = pp.sig;
+  instance.value = pp.value;
+  instance.client_token = client_token;
+  instance.req_id = req_id;
+  ArmProgressTimer(seq);
+
+  if (byzantine_ == ByzantineMode::kEquivocate) {
+    // Send a different value (hence digest) to each half of the replicas.
+    int parity = 0;
+    for (const net::NodeId& node : config_.nodes) {
+      if (node == self_) continue;
+      PrePrepareMsg forged = pp;
+      if (parity++ % 2 == 1) {
+        forged.value.push_back(0xEE);
+        forged.digest = DigestOf(forged.value);
+        forged.sig = Sign(forged.CanonicalHeader());
+      }
+      SendTo(node, kPrePrepare, forged.Encode());
+    }
+    return;
+  }
+  Broadcast(kPrePrepare, pp.Encode());
+}
+
+// --- three-phase protocol -----------------------------------------------------
+
+void PbftReplica::OnPrePrepare(const net::Message& msg) {
+  PrePrepareMsg pp;
+  if (!PrePrepareMsg::Decode(msg.payload, &pp).ok()) return;
+  if (pp.view != view_ || in_view_change_) return;
+  if (msg.src != config_.LeaderOf(pp.view)) return;  // only the leader may
+  if (pp.seq <= last_stable_) return;
+  if (!VerifySig(pp.CanonicalHeader(), pp.sig)) return;
+  if (pp.sig.signer != msg.src) return;
+  if (DigestOf(pp.value) != pp.digest) return;
+
+  // After a view change, carried-over sequence numbers must match the
+  // digest recomputed from the view-change set.
+  auto expected = expected_digests_.find(pp.seq);
+  if (expected != expected_digests_.end() && expected->second != pp.digest) {
+    return;
+  }
+
+  Instance& instance = instances_[pp.seq];
+  if (instance.has_preprepare) {
+    // Accept only an identical re-transmission for this view.
+    if (instance.view == pp.view && instance.digest != pp.digest) {
+      // Equivocation evidence: same (view, seq), different digest.
+      StartViewChange(view_ + 1);
+    }
+    return;
+  }
+  instance.view = pp.view;
+  instance.digest = pp.digest;
+  instance.has_preprepare = true;
+  instance.preprepare_sig = pp.sig;
+  instance.value = std::move(pp.value);
+  instance.client_token = pp.client_token;
+  instance.req_id = pp.req_id;
+  ArmProgressTimer(pp.seq);
+
+  // Broadcast our prepare vote.
+  VoteMsg prepare;
+  prepare.type = kPrepare;
+  prepare.view = pp.view;
+  prepare.seq = pp.seq;
+  prepare.digest = instance.digest;
+  if (byzantine_ == ByzantineMode::kBogusVotes) {
+    prepare.digest[0] ^= 0xff;
+  }
+  prepare.sig = Sign(prepare.CanonicalBody());
+  instance.sent_prepare = true;
+  instance.prepares[index_] = {prepare.digest, prepare.sig};  // own vote
+  Broadcast(kPrepare, prepare.Encode());
+  MaybePrepared(pp.seq);
+}
+
+void PbftReplica::OnPrepare(const net::Message& msg) {
+  VoteMsg vote;
+  if (!VoteMsg::Decode(kPrepare, msg.payload, &vote).ok()) return;
+  if (vote.view != view_ || in_view_change_) return;
+  if (vote.seq <= last_stable_) return;
+  int sender = config_.ReplicaIndex(msg.src);
+  if (sender < 0) return;
+  if (msg.src == config_.LeaderOf(vote.view)) return;  // leaders don't prepare
+  if (!VerifySig(vote.CanonicalBody(), vote.sig)) return;
+  if (vote.sig.signer != msg.src) return;
+
+  Instance& instance = instances_[vote.seq];
+  if (!instance.has_preprepare) instance.view = vote.view;
+  // Buffered early votes carry their digest; only matching ones count.
+  instance.prepares.emplace(sender,
+                            Instance::Vote{vote.digest, vote.sig});
+  ArmProgressTimer(vote.seq);
+  MaybePrepared(vote.seq);
+}
+
+void PbftReplica::MaybePrepared(uint64_t seq) {
+  auto it = instances_.find(seq);
+  if (it == instances_.end()) return;
+  Instance& instance = it->second;
+  if (instance.prepared || !instance.has_preprepare) return;
+  // Prepared = pre-prepare + 2f matching prepares from distinct backups.
+  if (CountMatching(instance.prepares, instance.digest) < 2 * config_.f) {
+    return;
+  }
+  instance.prepared = true;
+
+  // Blockplane §IV-B: run the verification routine before the commit vote.
+  if (!RunVerifier(instance.value)) {
+    // The routine may merely be ahead of our state (e.g. it checks a chain
+    // pointer whose predecessor has not executed here yet); retry after
+    // each execution instead of voting now.
+    instance.verify_pending = true;
+    BP_LOG(kInfo) << self_.ToString() << " verification rejected seq " << seq;
+    return;  // withhold the commit-phase vote for now
+  }
+  SendCommitVote(seq);
+}
+
+void PbftReplica::SendCommitVote(uint64_t seq) {
+  auto it = instances_.find(seq);
+  if (it == instances_.end() || it->second.sent_commit) return;
+  Instance& instance = it->second;
+  instance.verify_pending = false;
+  VoteMsg commit;
+  commit.type = kCommit;
+  commit.view = instance.view;
+  commit.seq = seq;
+  commit.digest = instance.digest;
+  if (byzantine_ == ByzantineMode::kBogusVotes) {
+    commit.digest[1] ^= 0xff;
+  }
+  commit.sig = Sign(commit.CanonicalBody());
+  instance.sent_commit = true;
+  instance.commit_view = instance.view;
+  instance.commits[index_] = {instance.digest, commit.sig};
+  Broadcast(kCommit, commit.Encode());
+  MaybeCommitted(seq);
+}
+
+void PbftReplica::RetryPendingVerifications() {
+  std::vector<uint64_t> ready;
+  for (auto& [seq, instance] : instances_) {
+    if (instance.verify_pending && instance.prepared &&
+        !instance.sent_commit && RunVerifier(instance.value)) {
+      ready.push_back(seq);
+    }
+  }
+  for (uint64_t seq : ready) SendCommitVote(seq);
+}
+
+void PbftReplica::OnCommit(const net::Message& msg) {
+  VoteMsg vote;
+  if (!VoteMsg::Decode(kCommit, msg.payload, &vote).ok()) return;
+  if (vote.view != view_ || in_view_change_) return;
+  if (vote.seq <= last_stable_) return;
+  int sender = config_.ReplicaIndex(msg.src);
+  if (sender < 0) return;
+  if (!VerifySig(vote.CanonicalBody(), vote.sig)) return;
+  if (vote.sig.signer != msg.src) return;
+
+  Instance& instance = instances_[vote.seq];
+  instance.commit_view = vote.view;
+  instance.commits[sender] = {vote.digest, vote.sig};
+  MaybeCommitted(vote.seq);
+}
+
+void PbftReplica::MaybeCommitted(uint64_t seq) {
+  auto it = instances_.find(seq);
+  if (it == instances_.end()) return;
+  Instance& instance = it->second;
+  if (instance.committed || !instance.prepared) return;
+  if (CountMatching(instance.commits, instance.digest) < config_.quorum()) {
+    return;
+  }
+  instance.committed = true;
+  CancelProgressTimer(&instance);
+  ExecuteReady();
+}
+
+void PbftReplica::ExecuteReady() {
+  while (true) {
+    auto it = instances_.find(last_executed_ + 1);
+    if (it == instances_.end() || !it->second.committed) break;
+    Instance& instance = it->second;
+    uint64_t seq = last_executed_ + 1;
+
+    bool is_noop = instance.client_token == 0 && instance.value.empty();
+    bool duplicate =
+        !is_noop &&
+        executed_reqs_[instance.client_token].count(instance.req_id) > 0;
+
+    if (!is_noop && !duplicate) {
+      executed_reqs_[instance.client_token].insert(instance.req_id);
+      executed_log_[seq] = instance.value;
+      // Chain the state digest (cheap: fixed 64-byte input).
+      Encoder chain;
+      chain.PutRaw(state_digest_.data(), state_digest_.size());
+      chain.PutRaw(instance.digest.data(), instance.digest.size());
+      state_digest_ = crypto::Sha256Digest(chain.buffer());
+      if (execute_) execute_(seq, instance.value);
+      SendReply(instance, seq);
+    }
+
+    watched_requests_.erase({instance.client_token, instance.req_id});
+    expected_digests_.erase(seq);
+    ++last_executed_;
+
+    if (IsLeader() && proposal_outstanding_ && seq >= outstanding_seq_) {
+      proposal_outstanding_ = false;
+    }
+    if (last_executed_ % config_.checkpoint_interval == 0) {
+      TakeCheckpoint(last_executed_);
+    }
+  }
+  RetryPendingVerifications();
+  MaybeAbandonViewChange();
+  MaybeProposeNext();
+}
+
+void PbftReplica::MaybeAbandonViewChange() {
+  // If execution progressed while we alone demand a new view, we were
+  // merely lagging (now caught up), not facing a faulty leader. Resuming
+  // normal operation is safe: our view-change message is just a vote that
+  // others may still use.
+  if (!in_view_change_) return;
+  auto votes = view_changes_.find(target_view_);
+  int supporters =
+      votes == view_changes_.end() ? 0 : static_cast<int>(votes->second.size());
+  if (supporters > config_.f) return;  // a real view change is brewing
+  in_view_change_ = false;
+  target_view_ = view_;
+  sim_->Cancel(view_change_timer_);
+  view_change_timer_ = sim::kInvalidEventId;
+}
+
+void PbftReplica::SendReply(const Instance& instance, uint64_t seq) {
+  if (instance.client_token == 0) return;
+  ReplyMsg reply;
+  reply.view = view_;
+  reply.req_id = instance.req_id;
+  reply.seq = seq;
+  reply.replica = index_;
+  Bytes encoded = reply.Encode();
+  auto& cache = cached_replies_[instance.client_token];
+  cache[instance.req_id] = encoded;
+  if (cache.size() > 128) cache.erase(cache.begin());
+  SendTo(ClientFromToken(instance.client_token), kReply, std::move(encoded));
+}
+
+// --- state transfer / catch-up -------------------------------------------------
+
+void PbftReplica::CatchUp() {
+  FetchCommittedMsg fetch;
+  fetch.from_seq = last_executed_ + 1;
+  Broadcast(kFetchCommitted, fetch.Encode());
+}
+
+void PbftReplica::OnFetchCommitted(const net::Message& msg) {
+  FetchCommittedMsg fetch;
+  if (!FetchCommittedMsg::Decode(msg.payload, &fetch).ok()) return;
+  if (config_.ReplicaIndex(msg.src) < 0) return;
+  // Answer with a bounded range of committed entries we still hold.
+  constexpr uint64_t kMaxEntries = 32;
+  uint64_t sent = 0;
+  for (auto it = instances_.lower_bound(fetch.from_seq);
+       it != instances_.end() && sent < kMaxEntries; ++it) {
+    const Instance& instance = it->second;
+    if (!instance.committed) continue;
+    CommittedEntryMsg entry;
+    entry.seq = it->first;
+    entry.view = instance.commit_view;
+    entry.digest = instance.digest;
+    entry.client_token = instance.client_token;
+    entry.req_id = instance.req_id;
+    entry.value = instance.value;
+    for (const auto& [idx, vote] : instance.commits) {
+      if (vote.digest == instance.digest) {
+        entry.commit_sigs.push_back(vote.sig);
+      }
+    }
+    SendTo(msg.src, kCommittedEntry, entry.Encode());
+    ++sent;
+  }
+}
+
+void PbftReplica::OnCommittedEntry(const net::Message& msg) {
+  CommittedEntryMsg entry;
+  if (!CommittedEntryMsg::Decode(msg.payload, &entry).ok()) return;
+  if (config_.ReplicaIndex(msg.src) < 0) return;
+  if (entry.seq <= last_executed_ || entry.seq <= last_stable_) return;
+  auto existing = instances_.find(entry.seq);
+  if (existing != instances_.end() && existing->second.committed) return;
+
+  if (DigestOf(entry.value) != entry.digest) return;
+  if (config_.sign_messages) {
+    // The certificate must hold 2f+1 distinct valid commit votes.
+    VoteMsg commit;
+    commit.type = kCommit;
+    commit.view = entry.view;
+    commit.seq = entry.seq;
+    commit.digest = entry.digest;
+    Bytes body = commit.CanonicalBody();
+    std::set<int32_t> valid;
+    for (const Signature& sig : entry.commit_sigs) {
+      if (config_.ReplicaIndex(sig.signer) < 0) continue;
+      if (!keys_->Verify(body, sig)) continue;
+      valid.insert(config_.ReplicaIndex(sig.signer));
+    }
+    if (static_cast<int>(valid.size()) < config_.quorum()) return;
+  }
+
+  Instance& instance = instances_[entry.seq];
+  CancelProgressTimer(&instance);
+  instance.view = entry.view;
+  instance.digest = entry.digest;
+  instance.value = std::move(entry.value);
+  instance.client_token = entry.client_token;
+  instance.req_id = entry.req_id;
+  instance.has_preprepare = true;
+  instance.prepared = true;
+  instance.committed = true;
+  instance.commit_view = entry.view;
+  ExecuteReady();
+}
+
+void PbftReplica::RequestSnapshot() {
+  Broadcast(kFetchSnapshot, Bytes{});
+}
+
+void PbftReplica::OnFetchSnapshot(const net::Message& msg) {
+  if (config_.ReplicaIndex(msg.src) < 0) return;
+  if (stable_snapshot_.seq == 0) return;  // no stable checkpoint yet
+  SendTo(msg.src, kSnapshot, stable_snapshot_.Encode());
+}
+
+void PbftReplica::OnSnapshot(const net::Message& msg) {
+  if (config_.ReplicaIndex(msg.src) < 0) return;
+  SnapshotMsg snapshot;
+  if (!SnapshotMsg::Decode(msg.payload, &snapshot).ok()) return;
+  if (snapshot.seq <= last_executed_) return;
+  if (config_.sign_messages) {
+    // The certificate must hold 2f+1 distinct valid checkpoint votes.
+    CheckpointMsg cp;
+    cp.seq = snapshot.seq;
+    cp.state_digest = snapshot.state_digest;
+    Bytes body = cp.CanonicalBody();
+    std::set<int32_t> valid;
+    for (const Signature& sig : snapshot.cert) {
+      if (config_.ReplicaIndex(sig.signer) < 0) continue;
+      if (!keys_->Verify(body, sig)) continue;
+      valid.insert(config_.ReplicaIndex(sig.signer));
+    }
+    if (static_cast<int>(valid.size()) < config_.quorum()) return;
+  }
+  if (snapshot_callback_) {
+    // The application fetches + verifies the log contents, then installs.
+    snapshot_callback_(snapshot);
+    return;
+  }
+  InstallCheckpoint(snapshot.seq, snapshot.state_digest);
+  CatchUp();
+}
+
+void PbftReplica::InstallCheckpoint(uint64_t seq, const Digest& digest) {
+  if (seq <= last_executed_) return;
+  last_executed_ = seq;
+  last_stable_ = std::max(last_stable_, seq);
+  state_digest_ = digest;
+  for (auto it = instances_.begin();
+       it != instances_.end() && it->first <= seq;) {
+    CancelProgressTimer(&it->second);
+    it = instances_.erase(it);
+  }
+  executed_log_.erase(executed_log_.begin(),
+                      executed_log_.upper_bound(seq));
+  checkpoint_votes_.erase(checkpoint_votes_.begin(),
+                          checkpoint_votes_.upper_bound(seq));
+  ExecuteReady();
+}
+
+// --- checkpoints --------------------------------------------------------------
+
+void PbftReplica::TakeCheckpoint(uint64_t seq) {
+  CheckpointMsg cp;
+  cp.seq = seq;
+  cp.state_digest = state_digest_;
+  cp.sig = Sign(cp.CanonicalBody());
+  checkpoint_votes_[seq][cp.state_digest][index_] = cp.sig;
+  Broadcast(kCheckpoint, cp.Encode());
+}
+
+void PbftReplica::OnCheckpoint(const net::Message& msg) {
+  CheckpointMsg cp;
+  if (!CheckpointMsg::Decode(msg.payload, &cp).ok()) return;
+  int sender = config_.ReplicaIndex(msg.src);
+  if (sender < 0) return;
+  if (!VerifySig(cp.CanonicalBody(), cp.sig) || cp.sig.signer != msg.src) {
+    return;
+  }
+  if (cp.seq <= last_stable_) return;
+  auto& votes = checkpoint_votes_[cp.seq][cp.state_digest];
+  votes[sender] = cp.sig;
+  if (static_cast<int>(votes.size()) < config_.quorum()) return;
+
+  // Keep the certificate: it lets far-behind replicas verify snapshots.
+  stable_snapshot_.seq = cp.seq;
+  stable_snapshot_.state_digest = cp.state_digest;
+  stable_snapshot_.cert.clear();
+  for (auto& [index, sig] : votes) stable_snapshot_.cert.push_back(sig);
+
+  // Stable: truncate everything at or below the checkpoint.
+  last_stable_ = cp.seq;
+  instances_.erase(instances_.begin(), instances_.upper_bound(cp.seq));
+  checkpoint_votes_.erase(checkpoint_votes_.begin(),
+                          checkpoint_votes_.upper_bound(cp.seq));
+  executed_log_.erase(executed_log_.begin(),
+                      executed_log_.upper_bound(cp.seq));
+}
+
+// --- view changes --------------------------------------------------------------
+
+void PbftReplica::ArmProgressTimer(uint64_t seq) {
+  Instance& instance = instances_[seq];
+  if (instance.progress_timer != sim::kInvalidEventId) return;
+  instance.progress_timer = sim_->Schedule(config_.view_timeout, [this, seq]() {
+    auto it = instances_.find(seq);
+    if (it == instances_.end() || it->second.committed) return;
+    it->second.progress_timer = sim::kInvalidEventId;
+    BP_LOG(kDebug) << self_.ToString() << " progress timeout on seq " << seq;
+    // We may simply have fallen behind a quorum that committed without us;
+    // ask for the decided entries before demanding a new leader.
+    CatchUp();
+    StartViewChange(view_ + 1);
+  });
+}
+
+void PbftReplica::CancelProgressTimer(Instance* instance) {
+  if (instance->progress_timer != sim::kInvalidEventId) {
+    sim_->Cancel(instance->progress_timer);
+    instance->progress_timer = sim::kInvalidEventId;
+  }
+}
+
+void PbftReplica::StartViewChange(uint64_t new_view) {
+  if (new_view <= view_) return;
+  if (in_view_change_ && target_view_ >= new_view) return;
+  in_view_change_ = true;
+  target_view_ = new_view;
+  BP_LOG(kInfo) << self_.ToString() << " view change -> " << new_view;
+
+  ViewChangeMsg vc;
+  vc.new_view = new_view;
+  vc.last_stable = last_stable_;
+  for (auto& [seq, instance] : instances_) {
+    if (!instance.prepared || seq <= last_stable_) continue;
+    PreparedProof proof;
+    proof.view = instance.view;
+    proof.seq = seq;
+    proof.digest = instance.digest;
+    proof.client_token = instance.client_token;
+    proof.req_id = instance.req_id;
+    proof.value = instance.value;
+    proof.preprepare_sig = instance.preprepare_sig;
+    for (auto& [idx, vote] : instance.prepares) {
+      if (vote.digest == instance.digest) {
+        proof.prepare_sigs.push_back(vote.sig);
+      }
+    }
+    vc.prepared.push_back(std::move(proof));
+  }
+  vc.sig = Sign(vc.CanonicalBody());
+
+  Bytes encoded = vc.Encode();
+  // Record our own view-change vote, then broadcast.
+  view_changes_[new_view][index_] = vc;
+  Broadcast(kViewChange, encoded);
+  MaybeSendNewView(new_view);
+
+  // Escalate if the new view does not start in time.
+  sim_->Cancel(view_change_timer_);
+  view_change_timer_ =
+      sim_->Schedule(2 * config_.view_timeout, [this, new_view]() {
+        if (view_ >= new_view) return;
+        StartViewChange(target_view_ + 1);
+      });
+}
+
+void PbftReplica::OnViewChange(const net::Message& msg) {
+  ViewChangeMsg vc;
+  if (!ViewChangeMsg::Decode(msg.payload, &vc).ok()) return;
+  int sender = config_.ReplicaIndex(msg.src);
+  if (sender < 0) return;
+  if (!VerifySig(vc.CanonicalBody(), vc.sig) || vc.sig.signer != msg.src) {
+    return;
+  }
+  if (vc.new_view <= view_) return;
+
+  uint64_t new_view = vc.new_view;
+  auto& votes = view_changes_[new_view];
+  votes[sender] = std::move(vc);
+
+  // Join the view change once f+1 replicas demand it (they cannot all be
+  // wrong: at least one is honest).
+  if (static_cast<int>(votes.size()) >= config_.f + 1 &&
+      (!in_view_change_ || target_view_ < new_view)) {
+    StartViewChange(new_view);
+  }
+  MaybeSendNewView(new_view);
+}
+
+void PbftReplica::MaybeSendNewView(uint64_t v) {
+  if (v == 0 || v <= view_) return;
+  if (config_.LeaderOf(v) != self_) return;
+  auto it = view_changes_.find(v);
+  if (it == view_changes_.end()) return;
+  if (static_cast<int>(it->second.size()) < config_.quorum()) return;
+
+  NewViewMsg nv;
+  nv.view = v;
+  std::vector<ViewChangeMsg> vcs;
+  for (auto& [idx, vc] : it->second) {
+    nv.view_changes.push_back(vc.Encode());
+    vcs.push_back(vc);
+    if (static_cast<int>(vcs.size()) == config_.quorum()) break;
+  }
+  nv.sig = Sign(nv.CanonicalBody());
+  Broadcast(kNewView, nv.Encode());
+  EnterView(v, vcs);
+}
+
+bool PbftReplica::ValidatePreparedProof(const PreparedProof& proof) const {
+  if (!config_.sign_messages) return true;
+  if (ComputeDigest(proof.value, config_.hash_payloads) != proof.digest) {
+    return false;
+  }
+  // The pre-prepare must be signed by the leader of the view it cites.
+  PrePrepareMsg pp;
+  pp.view = proof.view;
+  pp.seq = proof.seq;
+  pp.digest = proof.digest;
+  pp.client_token = proof.client_token;
+  pp.req_id = proof.req_id;
+  if (proof.preprepare_sig.signer != config_.LeaderOf(proof.view)) {
+    return false;
+  }
+  if (!keys_->Verify(pp.CanonicalHeader(), proof.preprepare_sig)) return false;
+
+  // 2f distinct valid backup prepares over the canonical vote body.
+  VoteMsg vote;
+  vote.type = kPrepare;
+  vote.view = proof.view;
+  vote.seq = proof.seq;
+  vote.digest = proof.digest;
+  Bytes body = vote.CanonicalBody();
+  std::set<int32_t> valid;
+  for (const Signature& sig : proof.prepare_sigs) {
+    if (config_.ReplicaIndex(sig.signer) < 0) continue;
+    if (sig.signer == config_.LeaderOf(proof.view)) continue;
+    if (!keys_->Verify(body, sig)) continue;
+    valid.insert(config_.ReplicaIndex(sig.signer));
+  }
+  return static_cast<int>(valid.size()) >= 2 * config_.f;
+}
+
+void PbftReplica::OnNewView(const net::Message& msg) {
+  NewViewMsg nv;
+  if (!NewViewMsg::Decode(msg.payload, &nv).ok()) return;
+  if (nv.view <= view_) return;
+  if (msg.src != config_.LeaderOf(nv.view)) return;
+  if (!VerifySig(nv.CanonicalBody(), nv.sig) || nv.sig.signer != msg.src) {
+    return;
+  }
+
+  // Validate the embedded view-change set: 2f+1 distinct, properly signed,
+  // all targeting this view.
+  std::vector<ViewChangeMsg> vcs;
+  std::set<int32_t> senders;
+  for (const Bytes& encoded : nv.view_changes) {
+    ViewChangeMsg vc;
+    if (!ViewChangeMsg::Decode(encoded, &vc).ok()) return;
+    if (vc.new_view != nv.view) return;
+    int sender = config_.ReplicaIndex(vc.sig.signer);
+    if (sender < 0) return;
+    if (!VerifySig(vc.CanonicalBody(), vc.sig)) return;
+    if (!senders.insert(sender).second) return;
+    vcs.push_back(std::move(vc));
+  }
+  if (static_cast<int>(vcs.size()) < config_.quorum()) return;
+
+  EnterView(nv.view, vcs);
+}
+
+void PbftReplica::EnterView(uint64_t v, const std::vector<ViewChangeMsg>& vcs) {
+  if (v <= view_) return;
+
+  // Recompute the carried-over proposals deterministically from the
+  // view-change set: for every sequence above the highest stable
+  // checkpoint, the valid prepared-certificate from the highest view wins.
+  uint64_t stable = last_stable_;
+  for (const ViewChangeMsg& vc : vcs) stable = std::max(stable, vc.last_stable);
+
+  std::map<uint64_t, const PreparedProof*> winners;
+  for (const ViewChangeMsg& vc : vcs) {
+    for (const PreparedProof& proof : vc.prepared) {
+      if (proof.seq <= stable) continue;
+      if (!ValidatePreparedProof(proof)) continue;
+      auto [it, inserted] = winners.emplace(proof.seq, &proof);
+      if (!inserted && proof.view > it->second->view) it->second = &proof;
+    }
+  }
+  uint64_t max_seq = winners.empty() ? stable : winners.rbegin()->first;
+
+  view_ = v;
+  target_view_ = v;
+  in_view_change_ = false;
+  sim_->Cancel(view_change_timer_);
+  view_change_timer_ = sim::kInvalidEventId;
+  view_changes_.erase(view_changes_.begin(),
+                      view_changes_.upper_bound(v));
+  BP_LOG(kInfo) << self_.ToString() << " entered view " << v << " (leader "
+                << leader().ToString() << ")";
+
+  // Drop in-flight instances from older views; committed ones stay (their
+  // values are already decided and will be re-confirmed identically).
+  for (auto it = instances_.begin(); it != instances_.end();) {
+    Instance& instance = it->second;
+    if (!instance.committed && it->first > stable) {
+      CancelProgressTimer(&instance);
+      it = instances_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  expected_digests_.clear();
+  std::map<uint64_t, PreparedProof> carryover;
+  for (uint64_t seq = stable + 1; seq <= max_seq; ++seq) {
+    auto win = winners.find(seq);
+    PreparedProof proof;
+    if (win != winners.end()) {
+      proof = *win->second;
+    } else {
+      proof.seq = seq;  // gap: fill with a no-op
+      proof.value.clear();
+      proof.client_token = 0;
+      proof.req_id = 0;
+      proof.digest = DigestOf(proof.value);
+    }
+    auto inst_it = instances_.find(seq);
+    if (inst_it != instances_.end() && inst_it->second.committed) {
+      continue;  // already committed locally; nothing to redo
+    }
+    expected_digests_[seq] = proof.digest;
+    carryover.emplace(seq, std::move(proof));
+  }
+
+  if (IsLeader()) {
+    next_seq_ = max_seq + 1;
+    proposal_outstanding_ = false;
+    assigned_requests_.clear();
+    // Re-issue pre-prepares (in the new view) for every carried-over seq.
+    for (auto& [seq, proof] : carryover) {
+      PrePrepareMsg pp;
+      pp.view = view_;
+      pp.seq = seq;
+      pp.digest = proof.digest;
+      pp.client_token = proof.client_token;
+      pp.req_id = proof.req_id;
+      pp.value = proof.value;
+      pp.sig = Sign(pp.CanonicalHeader());
+
+      Instance& instance = instances_[seq];
+      instance.view = view_;
+      instance.digest = pp.digest;
+      instance.has_preprepare = true;
+      instance.preprepare_sig = pp.sig;
+      instance.value = pp.value;
+      instance.client_token = pp.client_token;
+      instance.req_id = pp.req_id;
+      instance.prepares.clear();
+      instance.commits.clear();
+      instance.prepared = false;
+      instance.sent_prepare = false;
+      instance.sent_commit = false;
+      ArmProgressTimer(seq);
+      Broadcast(kPrePrepare, pp.Encode());
+    }
+    MaybeProposeNext();
+  } else if (!carryover.empty()) {
+    // Backups: watch for the leader's re-issued pre-prepares.
+    ArmProgressTimer(carryover.begin()->first);
+  }
+}
+
+}  // namespace blockplane::pbft

@@ -1,0 +1,242 @@
+// A PBFT replica (Castro & Liskov OSDI'99) with the two Blockplane
+// modifications from §IV-B of the paper:
+//
+//   1. Every committed value carries a record-type annotation (opaque to
+//      this module; Blockplane encodes it inside the value).
+//   2. When a replica becomes *prepared* it calls a registered verification
+//      routine and withholds its commit-phase vote if verification fails.
+//
+// The replica implements the normal three-phase case, view changes with
+// verifiable prepared-certificates, stable checkpoints with log truncation,
+// and one-outstanding-batch proposal (the paper's group-commit rule:
+// "a leader only attempts to commit a single batch and does not start the
+// next one until the current one is committed").
+//
+// The replica deliberately does not register itself with the Network: a
+// Blockplane node multiplexes several protocol stacks behind one NodeId and
+// forwards PBFT traffic here via HandleMessage.
+#ifndef BLOCKPLANE_PBFT_REPLICA_H_
+#define BLOCKPLANE_PBFT_REPLICA_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "crypto/signer.h"
+#include "net/network.h"
+#include "pbft/config.h"
+#include "pbft/message.h"
+
+namespace blockplane::pbft {
+
+/// Byzantine behaviours injectable for testing (§VII lemmas).
+enum class ByzantineMode {
+  kNone = 0,
+  /// Drops all input and produces no output (a crashed or mute node).
+  kSilent,
+  /// As leader, sends conflicting pre-prepares to different replicas.
+  kEquivocate,
+  /// Sends prepare/commit votes with corrupted digests.
+  kBogusVotes,
+  /// Never passes the verification routine (withholds commit votes).
+  kRejectVerification,
+};
+
+class PbftReplica : public net::Host {
+ public:
+  /// Called for every committed value, in sequence order.
+  using ExecuteCallback =
+      std::function<void(uint64_t seq, const Bytes& value)>;
+  /// The Blockplane verification-routine hook. Returning false withholds
+  /// this replica's commit vote for the value.
+  using Verifier = std::function<bool(const Bytes& value)>;
+
+  PbftReplica(net::Network* network, crypto::KeyStore* keys,
+              PbftConfig config, net::NodeId self, ExecuteCallback execute);
+
+  BP_DISALLOW_COPY_AND_ASSIGN(PbftReplica);
+
+  /// Registers this replica as the network host for its NodeId (standalone
+  /// deployments only; embedded deployments forward messages instead).
+  void RegisterWithNetwork();
+
+  /// Feeds one PBFT message (types kRequest..kNewView).
+  void HandleMessage(const net::Message& msg) override;
+
+  void SetVerifier(Verifier verifier) { verifier_ = std::move(verifier); }
+  void SetByzantineMode(ByzantineMode mode) { byzantine_ = mode; }
+
+  net::NodeId self() const { return self_; }
+  uint64_t view() const { return view_; }
+  net::NodeId leader() const { return config_.LeaderOf(view_); }
+  bool IsLeader() const { return leader() == self_; }
+  uint64_t last_executed() const { return last_executed_; }
+  uint64_t last_stable_checkpoint() const { return last_stable_; }
+  const PbftConfig& config() const { return config_; }
+
+  /// Committed values by sequence number (test/diagnostic access).
+  const std::map<uint64_t, Bytes>& executed_log() const {
+    return executed_log_;
+  }
+
+  /// Asks peers for committed entries this replica is missing (used after
+  /// recovery, and automatically when a replica falls behind). §VI-B.
+  void CatchUp();
+
+  /// Asks peers for their latest stable-checkpoint certificate — the
+  /// recovery path when this replica is behind the garbage-collection
+  /// window and plain CatchUp cannot find the entries anymore.
+  void RequestSnapshot();
+
+  /// Invoked with a verified snapshot certificate when this replica lags
+  /// behind it. The application fetches and verifies the log contents,
+  /// then calls InstallCheckpoint. Without a callback the checkpoint is
+  /// installed directly (the executed values themselves are skipped).
+  using SnapshotCallback = std::function<void(const SnapshotMsg&)>;
+  void SetSnapshotCallback(SnapshotCallback callback) {
+    snapshot_callback_ = std::move(callback);
+  }
+
+  /// Fast-forwards this replica to a certified checkpoint.
+  void InstallCheckpoint(uint64_t seq, const Digest& state_digest);
+
+ private:
+  struct Instance {
+    uint64_t view = 0;
+    Digest digest{};
+    bool has_preprepare = false;
+    Signature preprepare_sig;
+    Bytes value;
+    uint64_t client_token = 0;
+    uint64_t req_id = 0;
+    /// A vote carries the digest it endorsed; votes that arrived before the
+    /// pre-prepare are only counted if their digest matches it.
+    struct Vote {
+      Digest digest{};
+      Signature sig;
+    };
+    /// Prepare votes by replica index (backups only), kept as signatures so
+    /// prepared-certificates can be carried into view changes.
+    std::map<int32_t, Vote> prepares;
+    std::map<int32_t, Vote> commits;
+    uint64_t commit_view = 0;  // view whose commit votes were collected
+    bool sent_prepare = false;
+    bool sent_commit = false;
+    bool prepared = false;
+    bool committed = false;
+    /// Prepared but the verification routine rejected; re-tried as local
+    /// state advances (the routine may depend on earlier executions).
+    bool verify_pending = false;
+    sim::EventId progress_timer = sim::kInvalidEventId;
+  };
+
+  // -- message handlers --
+  void OnRequest(const net::Message& msg);
+  void OnFetchCommitted(const net::Message& msg);
+  void OnCommittedEntry(const net::Message& msg);
+  void OnFetchSnapshot(const net::Message& msg);
+  void OnSnapshot(const net::Message& msg);
+  void OnPrePrepare(const net::Message& msg);
+  void OnPrepare(const net::Message& msg);
+  void OnCommit(const net::Message& msg);
+  void OnCheckpoint(const net::Message& msg);
+  void OnViewChange(const net::Message& msg);
+  void OnNewView(const net::Message& msg);
+
+  // -- leader logic --
+  void MaybeProposeNext();
+  void Propose(uint64_t client_token, uint64_t req_id, Bytes value);
+
+  // -- phase transitions --
+  void MaybePrepared(uint64_t seq);
+  void MaybeCommitted(uint64_t seq);
+  void SendCommitVote(uint64_t seq);
+  void RetryPendingVerifications();
+  /// Number of votes in `votes` matching the instance digest.
+  template <typename Map>
+  static int CountMatching(const Map& votes, const Digest& digest);
+  void ExecuteReady();
+  void SendReply(const Instance& instance, uint64_t seq);
+  void TakeCheckpoint(uint64_t seq);
+
+  // -- view changes --
+  void ArmProgressTimer(uint64_t seq);
+  void CancelProgressTimer(Instance* instance);
+  void StartViewChange(uint64_t new_view);
+  void MaybeAbandonViewChange();
+  /// Installs view `v` from a validated set of view-change messages,
+  /// recomputing the carried-over proposals deterministically.
+  void EnterView(uint64_t v, const std::vector<ViewChangeMsg>& vcs);
+  bool ValidatePreparedProof(const PreparedProof& proof) const;
+  void MaybeSendNewView(uint64_t v);
+
+  // -- plumbing --
+  void Broadcast(net::MessageType type, const Bytes& payload);
+  void SendTo(net::NodeId dst, net::MessageType type, Bytes payload);
+  Signature Sign(const Bytes& canonical) const;
+  bool VerifySig(const Bytes& canonical, const Signature& sig) const;
+  Digest DigestOf(const Bytes& value) const {
+    return ComputeDigest(value, config_.hash_payloads);
+  }
+  bool RunVerifier(const Bytes& value) const;
+
+  net::Network* network_;
+  sim::Simulator* sim_;
+  crypto::KeyStore* keys_;
+  std::unique_ptr<crypto::Signer> signer_;
+  PbftConfig config_;
+  net::NodeId self_;
+  int index_;
+  ExecuteCallback execute_;
+  Verifier verifier_;
+  ByzantineMode byzantine_ = ByzantineMode::kNone;
+
+  uint64_t view_ = 0;
+  bool in_view_change_ = false;
+  uint64_t target_view_ = 0;
+  sim::EventId view_change_timer_ = sim::kInvalidEventId;
+
+  uint64_t next_seq_ = 1;        // leader: next sequence number to assign
+  bool proposal_outstanding_ = false;
+  uint64_t outstanding_seq_ = 0;
+  std::deque<RequestMsg> pending_requests_;
+  /// Requests already assigned a sequence number (leader-side dedup).
+  std::set<std::pair<uint64_t, uint64_t>> assigned_requests_;
+
+  std::map<uint64_t, Instance> instances_;  // by seq
+  uint64_t last_executed_ = 0;
+  uint64_t last_stable_ = 0;
+  std::map<uint64_t, Bytes> executed_log_;
+  Digest state_digest_{};  // rolling digest chained over executed values
+
+  /// Per-client dedup of executed requests and cached replies. Request ids
+  /// are tracked as sets: concurrent submissions may execute out of id
+  /// order under network jitter.
+  std::unordered_map<uint64_t, std::set<uint64_t>> executed_reqs_;
+  std::unordered_map<uint64_t, std::map<uint64_t, Bytes>> cached_replies_;
+
+  /// Checkpoint votes: seq -> digest -> signatures by replica index.
+  std::map<uint64_t, std::map<Digest, std::map<int32_t, Signature>>>
+      checkpoint_votes_;
+  /// The latest stable checkpoint's certificate (2f+1 signatures), served
+  /// to recovering peers.
+  SnapshotMsg stable_snapshot_;
+  SnapshotCallback snapshot_callback_;
+
+  /// View-change messages per target view, by replica index.
+  std::map<uint64_t, std::map<int32_t, ViewChangeMsg>> view_changes_;
+
+  /// Requests observed via forwarding, awaiting leader progress:
+  /// (client_token, req_id) -> timer.
+  std::map<std::pair<uint64_t, uint64_t>, sim::EventId> watched_requests_;
+
+  /// After a view change: the digest each carried-over seq must have in the
+  /// current view. Pre-prepares for these seqs are accepted only on match.
+  std::map<uint64_t, Digest> expected_digests_;
+};
+
+}  // namespace blockplane::pbft
+
+#endif  // BLOCKPLANE_PBFT_REPLICA_H_

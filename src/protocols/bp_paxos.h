@@ -1,0 +1,85 @@
+// Blockplane-paxos (§VI-E, Algorithm 3): the paxos protocol augmented with
+// Blockplane's log-commit and communication interfaces, turning the benign
+// protocol byzantine fault-tolerant.
+//
+// Every state change is log-committed before any message it causes is sent
+// (Definition 1), and all cross-participant messages travel through
+// Blockplane's send/receive. A verification routine keeps a byzantine node
+// from log-committing "value committed" without the unit having actually
+// received a majority of accept votes.
+#ifndef BLOCKPLANE_PROTOCOLS_BP_PAXOS_H_
+#define BLOCKPLANE_PROTOCOLS_BP_PAXOS_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "core/deployment.h"
+
+namespace blockplane::protocols {
+
+class BpPaxos {
+ public:
+  static constexpr uint64_t kVerifyDecision = 21;
+
+  /// Installs the protocol at every participant of `deployment`.
+  explicit BpPaxos(core::Deployment* deployment);
+  BP_DISALLOW_COPY_AND_ASSIGN(BpPaxos);
+
+  /// Algorithm 3's LeaderElection routine at `site`.
+  void LeaderElection(net::SiteId site, std::function<void(bool won)> done);
+
+  /// Algorithm 3's Replication routine at `site` (must be leader).
+  void Replicate(net::SiteId site, Bytes value,
+                 std::function<void(bool ok)> done);
+
+  bool IsLeader(net::SiteId site) const { return sites_.at(site)->l; }
+  /// Values this site knows to be decided, by slot.
+  const std::map<uint64_t, Bytes>& decided(net::SiteId site) const {
+    return sites_.at(site)->decided;
+  }
+
+ private:
+  struct SiteState {
+    net::SiteId site;
+    // Algorithm 3's protocol variables.
+    uint64_t r = 0;       // proposal number, initially unique per site
+    bool l = false;       // am I a leader
+    Bytes max_val;        // maximum accepted value (from promises)
+    uint64_t max_val_ballot = 0;
+
+    // Acceptor state.
+    uint64_t promised = 0;
+    std::map<uint64_t, std::pair<uint64_t, Bytes>> accepted;  // slot->(b,v)
+
+    // In-flight routines.
+    int promise_votes = 0;
+    int promise_replies = 0;
+    std::function<void(bool)> election_done;
+    uint64_t replicating_slot = 0;
+    int accept_votes = 0;
+    int accept_replies = 0;
+    std::function<void(bool)> replicate_done;
+
+    uint64_t next_slot = 1;
+    std::map<uint64_t, Bytes> decided;
+  };
+
+  /// Per-node verification state: accept votes received per slot.
+  struct NodeState {
+    std::map<uint64_t, int> accept_oks;
+  };
+
+  void InstallAt(net::SiteId site);
+  void OnMessage(SiteState* state, net::SiteId src, const Bytes& payload);
+  void BroadcastToOthers(net::SiteId site, const Bytes& payload,
+                         uint64_t routine_id);
+  int Majority() const { return deployment_->num_sites() / 2 + 1; }
+
+  core::Deployment* deployment_;
+  std::map<net::SiteId, std::unique_ptr<SiteState>> sites_;
+};
+
+}  // namespace blockplane::protocols
+
+#endif  // BLOCKPLANE_PROTOCOLS_BP_PAXOS_H_

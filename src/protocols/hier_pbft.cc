@@ -1,0 +1,129 @@
+#include "protocols/hier_pbft.h"
+
+#include "common/codec.h"
+#include "pbft/config.h"
+
+namespace blockplane::protocols {
+
+namespace {
+
+enum HierMsg : net::MessageType {
+  kPush = 401,  // leader site -> remote coordinators
+  kAck = 402,   // remote coordinator -> leader site
+};
+
+constexpr int32_t kCoordinatorIndex = 500;
+
+Bytes EncodeRound(uint64_t round, const Bytes& value) {
+  Encoder enc;
+  enc.PutU64(round);
+  enc.PutBytes(value);
+  return enc.Take();
+}
+
+bool DecodeRound(const Bytes& buf, uint64_t* round, Bytes* value) {
+  Decoder dec(buf);
+  return dec.GetU64(round).ok() && dec.GetBytes(value).ok();
+}
+
+}  // namespace
+
+HierPbft::HierPbft(net::Network* network, crypto::KeyStore* keys, int f,
+                   bool sign_messages)
+    : network_(network),
+      majority_(network->topology().num_sites() / 2 + 1) {
+  const int num_sites = network->topology().num_sites();
+  for (net::SiteId site = 0; site < num_sites; ++site) {
+    pbft::PbftConfig config = pbft::UnitConfig(site, f);
+    config.sign_messages = sign_messages;
+    auto& unit = units_[site];
+    for (const net::NodeId& node : config.nodes) {
+      auto replica = std::make_unique<pbft::PbftReplica>(network, keys,
+                                                         config, node,
+                                                         nullptr);
+      replica->RegisterWithNetwork();
+      unit.push_back(std::move(replica));
+    }
+    auto coordinator = std::make_unique<Coordinator>();
+    coordinator->owner = this;
+    coordinator->site = site;
+    coordinator->self = net::NodeId{site, kCoordinatorIndex};
+    coordinator->client = std::make_unique<pbft::PbftClient>(
+        network, config, net::NodeId{site, kCoordinatorIndex + 1});
+    network->Register(coordinator->self, coordinator.get());
+    coordinators_[site] = std::move(coordinator);
+  }
+}
+
+void HierPbft::Replicate(net::SiteId leader_site, Bytes value,
+                         std::function<void(uint64_t)> done) {
+  Coordinator* leader = coordinators_.at(leader_site).get();
+  uint64_t round = ++leader->round;
+  leader->acks = {leader_site};  // our own site counts once committed
+  leader->done = std::move(done);
+
+  // 1. Local PBFT commit at the leader site, then 2. push to every site.
+  Bytes encoded = EncodeRound(round, value);
+  leader->client->Submit(
+      Bytes(encoded), [this, leader, encoded](uint64_t) {
+        for (auto& [site, coordinator] : coordinators_) {
+          if (site == leader->site) continue;
+          net::Message msg;
+          msg.src = leader->self;
+          msg.dst = coordinator->self;
+          msg.type = kPush;
+          msg.payload = encoded;
+          network_->Send(std::move(msg));
+        }
+      });
+}
+
+void HierPbft::Coordinator::HandleMessage(const net::Message& msg) {
+  switch (msg.type) {
+    case kPush: {
+      uint64_t round = 0;
+      Bytes value;
+      if (!DecodeRound(msg.payload, &round, &value)) return;
+      // 3. Commit the received value into the local SMR log, then ack.
+      net::NodeId reply_to = msg.src;
+      client->Submit(Bytes(msg.payload),
+                     [this, round, reply_to](uint64_t) {
+                       ++decided;
+                       Encoder enc;
+                       enc.PutU64(round);
+                       net::Message ack;
+                       ack.src = self;
+                       ack.dst = reply_to;
+                       ack.type = kAck;
+                       ack.payload = enc.Take();
+                       owner->network_->Send(std::move(ack));
+                     });
+      break;
+    }
+    case kAck: {
+      Decoder dec(msg.payload);
+      uint64_t acked_round = 0;
+      if (!dec.GetU64(&acked_round).ok() || acked_round != round) return;
+      if (!done) return;
+      acks.insert(msg.src.site);
+      if (static_cast<int>(acks.size()) < owner->majority_) return;
+      // 4. Majority holds the value: commit the decision locally.
+      auto callback = std::move(done);
+      done = nullptr;
+      uint64_t decided_round = round;
+      Encoder enc;
+      enc.PutString("decided");
+      enc.PutU64(decided_round);
+      client->Submit(enc.Take(),
+                     [this, callback, decided_round](uint64_t) {
+                       ++decided;
+                       if (callback) callback(decided_round);
+                     });
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace blockplane::protocols

@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// A seeded xoshiro256** generator: fast, good statistical quality, and —
+// unlike std::mt19937 + std::uniform_* — byte-for-byte reproducible across
+// standard library implementations, which the experiment harness relies on.
+#ifndef BLOCKPLANE_SIM_RANDOM_H_
+#define BLOCKPLANE_SIM_RANDOM_H_
+
+#include <cstdint>
+
+namespace blockplane::sim {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  /// Uniform over all 64-bit values.
+  uint64_t NextU64();
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, n) for n > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Derives an independent child generator (for per-node streams).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace blockplane::sim
+
+#endif  // BLOCKPLANE_SIM_RANDOM_H_

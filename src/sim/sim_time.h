@@ -1,0 +1,31 @@
+// Virtual time for the discrete-event simulator. All simulation timestamps
+// and durations are nanoseconds held in an int64 — wide enough for ~292
+// simulated years.
+#ifndef BLOCKPLANE_SIM_SIM_TIME_H_
+#define BLOCKPLANE_SIM_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace blockplane::sim {
+
+/// Nanoseconds since simulation start (or a duration in nanoseconds).
+using SimTime = int64_t;
+
+constexpr SimTime Nanoseconds(int64_t n) { return n; }
+constexpr SimTime Microseconds(int64_t n) { return n * 1000; }
+constexpr SimTime Milliseconds(int64_t n) { return n * 1000 * 1000; }
+constexpr SimTime Seconds(int64_t n) { return n * 1000 * 1000 * 1000; }
+
+/// Fractional-millisecond construction (e.g. MillisecondsD(0.25)).
+constexpr SimTime MillisecondsD(double ms) {
+  return static_cast<SimTime>(ms * 1e6);
+}
+
+constexpr double ToMillis(SimTime t) { return static_cast<double>(t) / 1e6; }
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / 1e9; }
+
+constexpr SimTime kSimTimeMax = INT64_MAX;
+
+}  // namespace blockplane::sim
+
+#endif  // BLOCKPLANE_SIM_SIM_TIME_H_

@@ -1,0 +1,72 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace blockplane::sim {
+
+Simulator::Simulator(uint64_t seed) : rng_(seed) {}
+
+EventId Simulator::Schedule(SimTime delay, std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+  BP_CHECK(when >= now_);
+  EventId id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+void Simulator::Cancel(EventId id) {
+  if (id == kInvalidEventId) return;
+  cancelled_.insert(id);
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    auto it = cancelled_.find(ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    BP_CHECK(ev.when >= now_);
+    now_ = ev.when;
+    ++processed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+SimTime Simulator::Run() {
+  while (Step()) {
+  }
+  return now_;
+}
+
+bool Simulator::RunUntil(SimTime deadline) {
+  while (!queue_.empty()) {
+    if (queue_.top().when > deadline) {
+      now_ = deadline;
+      return false;
+    }
+    Step();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return true;
+}
+
+bool Simulator::RunUntilCondition(const std::function<bool()>& pred,
+                                  SimTime deadline) {
+  if (pred()) return true;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Step();
+    if (pred()) return true;
+  }
+  return false;
+}
+
+}  // namespace blockplane::sim

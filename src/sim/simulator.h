@@ -1,0 +1,91 @@
+// The discrete-event simulation core.
+//
+// A Simulator owns a virtual clock and an event queue. Everything in a
+// Blockplane deployment — replicas, clients, daemons, the network — runs as
+// callbacks scheduled on one Simulator, which makes every experiment
+// single-threaded and deterministic for a given seed.
+#ifndef BLOCKPLANE_SIM_SIMULATOR_H_
+#define BLOCKPLANE_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/macros.h"
+#include "sim/random.h"
+#include "sim/sim_time.h"
+
+namespace blockplane::sim {
+
+/// Handle for a scheduled event; used to cancel timers.
+using EventId = uint64_t;
+constexpr EventId kInvalidEventId = 0;
+
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed = 1);
+  BP_DISALLOW_COPY_AND_ASSIGN(Simulator);
+
+  /// Current virtual time.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` from now. Delays clamp to >= 0.
+  EventId Schedule(SimTime delay, std::function<void()> fn);
+
+  /// Schedules `fn` at an absolute virtual time (>= Now()).
+  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+
+  /// Cancels a pending event. Cancelling an already-fired or invalid id is a
+  /// no-op, which keeps timer bookkeeping simple for callers.
+  void Cancel(EventId id);
+
+  /// Runs until the event queue drains. Returns the final virtual time.
+  SimTime Run();
+
+  /// Runs events with time <= deadline. Returns true if the queue drained.
+  bool RunUntil(SimTime deadline);
+
+  /// Runs for `duration` of virtual time from now.
+  bool RunFor(SimTime duration) { return RunUntil(now_ + duration); }
+
+  /// Runs until `pred()` is true, the queue drains, or `deadline` passes.
+  /// Returns true iff the predicate became true.
+  bool RunUntilCondition(const std::function<bool()>& pred, SimTime deadline);
+
+  /// Root RNG; fork per-component streams from it for isolation.
+  Rng& rng() { return rng_; }
+
+  uint64_t processed_events() const { return processed_; }
+  size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;  // FIFO tie-break for equal timestamps
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops and runs one event. Returns false if the queue is empty.
+  bool Step();
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::unordered_set<EventId> cancelled_;
+  Rng rng_;
+};
+
+}  // namespace blockplane::sim
+
+#endif  // BLOCKPLANE_SIM_SIMULATOR_H_

@@ -1,0 +1,334 @@
+// Adversarial end-to-end tests: the byzantine behaviours of §VII's lemmas
+// driven against the full Blockplane stack, plus a randomized crash/recover
+// soak over the counter protocol.
+#include <gtest/gtest.h>
+
+#include "core/deployment.h"
+#include "protocols/bank.h"
+#include "protocols/counter.h"
+#include "sim/simulator.h"
+
+namespace blockplane::core {
+namespace {
+
+using net::kCalifornia;
+using net::kIreland;
+using net::kOregon;
+using net::kVirginia;
+using net::Topology;
+using sim::Seconds;
+
+TEST(ByzantineEndToEndTest, EquivocatingUnitLeaderIsDethroned) {
+  // Lemma 1: honest nodes of a participant agree on every Local Log entry
+  // even when the unit's PBFT leader equivocates.
+  sim::Simulator simulator(31);
+  Deployment deployment(&simulator, Topology::Aws4(), {});
+  deployment.node(kCalifornia, 0)
+      ->SetByzantineMode(pbft::ByzantineMode::kEquivocate);
+
+  int completed = 0;
+  for (int i = 0; i < 5; ++i) {
+    deployment.participant(kCalifornia)
+        ->LogCommit(ToBytes("v" + std::to_string(i)), 0,
+                    [&](uint64_t) { ++completed; });
+  }
+  ASSERT_TRUE(simulator.RunUntilCondition([&] { return completed == 5; },
+                                          Seconds(120)));
+  simulator.RunFor(Seconds(2));
+  // All honest nodes hold identical logs.
+  const auto& reference = deployment.node(kCalifornia, 1)->log();
+  for (int i = 2; i < 4; ++i) {
+    const auto& log = deployment.node(kCalifornia, i)->log();
+    ASSERT_EQ(log.size(), reference.size()) << "node " << i;
+    for (const auto& [pos, record] : reference) {
+      EXPECT_EQ(log.at(pos).payload, record.payload);
+    }
+  }
+  // Note: with a 3-vs-1 split the majority value still commits and the
+  // odd node catches up via state transfer, so the equivocator may keep
+  // the lead — what matters (and is asserted above) is that no two honest
+  // nodes ever diverge.
+}
+
+TEST(ByzantineEndToEndTest, LyingStatusRepliesCannotSuppressReserve) {
+  // §IV-C: a faulty destination node reporting a huge reception watermark
+  // must not convince the reserve that everything was delivered. The
+  // reserve takes the (f_i+1)-th largest reply: one liar is outvoted.
+  sim::Simulator simulator(33);
+  Deployment deployment(&simulator, Topology::Aws4(), {});
+  deployment.node(kCalifornia, 0)->MuteDaemons();      // malicious daemon
+  deployment.node(kVirginia, 0)->LieAboutReception();  // accomplice
+
+  deployment.participant(kCalifornia)
+      ->Send(kVirginia, ToBytes("must arrive"), 0, nullptr);
+  Participant* receiver = deployment.participant(kVirginia);
+  Bytes payload;
+  ASSERT_TRUE(simulator.RunUntilCondition(
+      [&] { return receiver->TryReceive(kCalifornia, &payload); },
+      Seconds(60)));
+  EXPECT_EQ(ToString(payload), "must arrive");
+}
+
+TEST(ByzantineEndToEndTest, DoubleDaemonFailureStillDelivers) {
+  // Both the active daemon and the first reserve go mute; the second
+  // reserve (nodes 1..f_i+1 hold reserves) must still take over.
+  sim::Simulator simulator(43);
+  Deployment deployment(&simulator, Topology::Aws4(), {});
+  deployment.node(kCalifornia, 0)->MuteDaemons();
+  deployment.node(kCalifornia, 1)->MuteDaemons();
+
+  deployment.participant(kCalifornia)
+      ->Send(kVirginia, ToBytes("twice unlucky"), 0, nullptr);
+  Participant* receiver = deployment.participant(kVirginia);
+  Bytes payload;
+  ASSERT_TRUE(simulator.RunUntilCondition(
+      [&] { return receiver->TryReceive(kCalifornia, &payload); },
+      Seconds(120)));
+  EXPECT_EQ(ToString(payload), "twice unlucky");
+}
+
+TEST(ByzantineEndToEndTest, TwoMixedByzantineNodesUnderF2) {
+  // f_i = 2: one silent node AND one bogus-voter in the same unit, plus a
+  // read liar — the 7-node unit absorbs all of it.
+  sim::Simulator simulator(45);
+  BlockplaneOptions options;
+  options.fi = 2;
+  Deployment deployment(&simulator, Topology::Aws4(), options);
+  deployment.node(kCalifornia, 5)
+      ->SetByzantineMode(pbft::ByzantineMode::kSilent);
+  deployment.node(kCalifornia, 6)
+      ->SetByzantineMode(pbft::ByzantineMode::kBogusVotes);
+  deployment.node(kCalifornia, 6)->RefuseAttestations();
+  deployment.node(kCalifornia, 6)->LieOnReads();
+
+  int completed = 0;
+  for (int i = 0; i < 5; ++i) {
+    deployment.participant(kCalifornia)
+        ->LogCommit(ToBytes("v" + std::to_string(i)), 0,
+                    [&](uint64_t) { ++completed; });
+  }
+  ASSERT_TRUE(simulator.RunUntilCondition([&] { return completed == 5; },
+                                          Seconds(120)));
+  // Cross-site traffic also survives (attestations need f_i+1 = 3 of 7).
+  deployment.participant(kCalifornia)
+      ->Send(kOregon, ToBytes("from the f2 unit"), 0, nullptr);
+  Participant* receiver = deployment.participant(kOregon);
+  Bytes payload;
+  ASSERT_TRUE(simulator.RunUntilCondition(
+      [&] { return receiver->TryReceive(kCalifornia, &payload); },
+      Seconds(120)));
+  // Honest nodes agree.
+  simulator.RunFor(Seconds(2));
+  const auto& reference = deployment.node(kCalifornia, 0)->log();
+  for (int i = 1; i <= 4; ++i) {
+    EXPECT_EQ(deployment.node(kCalifornia, i)->log().size(),
+              reference.size());
+  }
+}
+
+TEST(ByzantineEndToEndTest, OutOfOrderTransmissionIsRejected) {
+  // Lemma 2's ordering half: a transmission whose chain pointer skips an
+  // earlier message is refused, so messages cannot be maliciously dropped
+  // or reordered by a daemon.
+  sim::Simulator simulator(35);
+  BlockplaneOptions options;
+  options.sign_messages = false;  // isolates the ordering check
+  Deployment deployment(&simulator, Topology::Aws4(), options);
+
+  TransmissionRecord skipping;
+  skipping.src_site = kCalifornia;
+  skipping.dest_site = kOregon;
+  skipping.src_log_pos = 7;       // claims to be the 7th record...
+  skipping.prev_src_log_pos = 5;  // ...chained after an undelivered 5th
+  skipping.payload = ToBytes("out of order");
+  net::Message msg;
+  msg.src = {kCalifornia, 0};
+  msg.dst = {kOregon, 0};
+  msg.type = kTransmission;
+  msg.payload = skipping.Encode();
+  deployment.network()->Send(msg);
+
+  simulator.RunFor(Seconds(5));
+  Bytes payload;
+  EXPECT_FALSE(
+      deployment.participant(kOregon)->TryReceive(kCalifornia, &payload));
+  EXPECT_EQ(deployment.node(kOregon, 0)->log_size(), 0u);
+}
+
+TEST(ByzantineEndToEndTest, ForgedGeoAcksCannotFakeGlobalCommit) {
+  // §V: with both mirrors down, a commit cannot complete — injected fake
+  // geo-acks (wrong signatures) must not count as mirror proofs.
+  sim::Simulator simulator(37);
+  BlockplaneOptions options;
+  options.fg = 1;
+  Deployment deployment(&simulator, Topology::Aws4(), options);
+  deployment.network()->CrashSite(kOregon);
+  deployment.network()->CrashSite(kVirginia);  // both of California's mirrors
+
+  bool committed = false;
+  deployment.participant(kCalifornia)
+      ->LogCommit(ToBytes("doomed"), 0, [&](uint64_t) { committed = true; });
+
+  // An attacker sprays forged acks at the participant.
+  simulator.Schedule(sim::Milliseconds(50), [&] {
+    for (int i = 0; i < 4; ++i) {
+      GeoAckMsg forged;
+      forged.geo_pos = 1;
+      forged.sig.signer = MirrorNodeId(kOregon, kCalifornia, i);
+      net::Message msg;
+      msg.src = forged.sig.signer;
+      msg.dst = ParticipantNodeId(kCalifornia);
+      msg.type = kGeoAck;
+      msg.payload = forged.Encode();
+      // Bypass the site crash by sending from a live node id.
+      msg.src = net::NodeId{kIreland, 0};
+      deployment.network()->Send(msg);
+    }
+  });
+  EXPECT_FALSE(
+      simulator.RunUntilCondition([&] { return committed; }, Seconds(5)));
+}
+
+TEST(ByzantineEndToEndTest, ReplayedWireCannotDoubleCredit) {
+  // A byzantine daemon replaying a committed wire must not mint money.
+  sim::Simulator simulator(39);
+  Deployment deployment(&simulator, Topology::Aws4(), {});
+  protocols::BankLedger bank(&deployment);
+
+  bool funded = false;
+  bank.Deposit(kCalifornia, "alice", 100, [&](Status) { funded = true; });
+  ASSERT_TRUE(
+      simulator.RunUntilCondition([&] { return funded; }, Seconds(30)));
+  bank.Wire(kCalifornia, "alice", kIreland, "seamus", 60, nullptr);
+  ASSERT_TRUE(simulator.RunUntilCondition(
+      [&] { return bank.Balance(kIreland, "seamus") == 60; }, Seconds(120)));
+
+  // Replay the wire's committed received-record content as a fresh
+  // transmission at every Ireland node.
+  const auto& log = deployment.node(kIreland, 0)->log();
+  const LogRecord* wire = nullptr;
+  for (const auto& [pos, record] : log) {
+    if (record.type == RecordType::kReceived) wire = &record;
+  }
+  ASSERT_NE(wire, nullptr);
+  TransmissionRecord replay;
+  replay.src_site = wire->src_site;
+  replay.dest_site = kIreland;
+  replay.src_log_pos = wire->src_log_pos;
+  replay.prev_src_log_pos = wire->prev_src_log_pos;
+  replay.routine_id = wire->routine_id;
+  replay.payload = wire->payload;
+  replay.sigs = wire->proof;  // genuine signatures, replayed
+  for (int i = 0; i < 4; ++i) {
+    net::Message msg;
+    msg.src = {kCalifornia, 3};
+    msg.dst = {kIreland, i};
+    msg.type = kTransmission;
+    msg.payload = replay.Encode();
+    deployment.network()->Send(msg);
+  }
+  simulator.RunFor(Seconds(5));
+  EXPECT_EQ(bank.Balance(kIreland, "seamus"), 60);  // not 120
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(bank.NodeBalance(kIreland, i, "seamus"), 60);
+  }
+}
+
+TEST(ByzantineEndToEndTest, QuorumReadSurvivesALyingReplica) {
+  // §VI-A: read-1 trusts the answering node; the 2f+1-identical-responses
+  // strategy "overcomes the scenario where a malicious node returns"
+  // wrong data.
+  sim::Simulator simulator(41);
+  Deployment deployment(&simulator, Topology::Aws4(), {});
+  bool committed = false;
+  uint64_t pos = 0;
+  deployment.participant(kCalifornia)
+      ->LogCommit(ToBytes("the truth"), 0, [&](uint64_t p) {
+        pos = p;
+        committed = true;
+      });
+  ASSERT_TRUE(
+      simulator.RunUntilCondition([&] { return committed; }, Seconds(30)));
+  simulator.RunFor(Seconds(1));
+
+  // Node 0 — the one read-1 happens to consult — starts lying.
+  deployment.node(kCalifornia, 0)->LieOnReads();
+
+  bool read_done = false;
+  LogRecord result;
+  deployment.participant(kCalifornia)
+      ->Read(pos, ReadStrategy::kReadOne, [&](Status s, LogRecord record) {
+        result = std::move(record);
+        read_done = true;
+      });
+  ASSERT_TRUE(
+      simulator.RunUntilCondition([&] { return read_done; }, Seconds(30)));
+  // read-1 is fooled (this is its documented trust model)...
+  EXPECT_EQ(ToString(result.payload), "forged read result");
+
+  // ...while the quorum strategy returns the real entry: the liar can
+  // never assemble 2f+1 identical forged answers.
+  read_done = false;
+  deployment.participant(kCalifornia)
+      ->Read(pos, ReadStrategy::kReadQuorum,
+             [&](Status s, LogRecord record) {
+               ASSERT_TRUE(s.ok());
+               result = std::move(record);
+               read_done = true;
+             });
+  ASSERT_TRUE(
+      simulator.RunUntilCondition([&] { return read_done; }, Seconds(30)));
+  EXPECT_EQ(ToString(result.payload), "the truth");
+}
+
+// --- randomized crash/recover soak ---------------------------------------------
+
+class FaultSoakTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultSoakTest, CountersConvergeUnderChurn) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  sim::Simulator simulator(seed);
+  Deployment deployment(&simulator, Topology::Aws4(), {});
+  protocols::CounterProtocol counter(&deployment);
+  sim::Rng rng(seed * 7919);
+
+  // Background churn: every 150 ms, crash or recover a random node, never
+  // exceeding f_i = 1 down per site.
+  std::map<net::SiteId, int> down;
+  std::set<net::NodeId> crashed;
+  std::function<void()> churn = [&]() {
+    net::SiteId site = static_cast<net::SiteId>(rng.NextBelow(4));
+    int index = static_cast<int>(rng.NextBelow(4));
+    net::NodeId node{site, index};
+    if (crashed.count(node) > 0) {
+      deployment.network()->Recover(node);
+      deployment.node(site, index)->Recover();
+      crashed.erase(node);
+      --down[site];
+    } else if (down[site] < 1) {
+      deployment.network()->Crash(node);
+      crashed.insert(node);
+      ++down[site];
+    }
+    simulator.Schedule(sim::Milliseconds(150), churn);
+  };
+  simulator.Schedule(sim::Milliseconds(100), churn);
+
+  constexpr int kRequests = 8;
+  for (int i = 0; i < kRequests; ++i) {
+    counter.UserRequest(kCalifornia, kOregon, "trusted-soak");
+  }
+  ASSERT_TRUE(simulator.RunUntilCondition(
+      [&] { return counter.counter(kOregon) == kRequests; }, Seconds(300)))
+      << "only " << counter.counter(kOregon) << " arrived";
+  simulator.RunFor(Seconds(5));
+  EXPECT_EQ(counter.counter(kOregon), kRequests);  // exactly once each
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultSoakTest, ::testing::Values(1, 2, 3, 4),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace blockplane::core

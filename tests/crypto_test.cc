@@ -1,0 +1,185 @@
+// Unit tests for the crypto substrate: SHA-256 against FIPS vectors,
+// HMAC-SHA256 against RFC 4231 vectors, and signature/proof semantics.
+#include <gtest/gtest.h>
+
+#include "common/codec.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "crypto/signer.h"
+
+namespace blockplane::crypto {
+namespace {
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(DigestToHex(Sha256Digest("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(DigestToHex(Sha256Digest("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(DigestToHex(Sha256Digest(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 ctx;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.Update(chunk);
+  EXPECT_EQ(DigestToHex(ctx.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, StreamingMatchesOneShot) {
+  std::string msg = "the quick brown fox jumps over the lazy dog";
+  Sha256 ctx;
+  for (char c : msg) ctx.Update(std::string_view(&c, 1));
+  EXPECT_EQ(ctx.Finish(), Sha256Digest(msg));
+}
+
+TEST(Sha256Test, ExactBlockBoundary) {
+  std::string msg(64, 'x');
+  std::string msg2(63, 'x');
+  std::string msg3(65, 'x');
+  EXPECT_NE(Sha256Digest(msg), Sha256Digest(msg2));
+  EXPECT_NE(Sha256Digest(msg), Sha256Digest(msg3));
+  // Streaming across the boundary agrees with one-shot.
+  Sha256 ctx;
+  ctx.Update(msg.substr(0, 40));
+  ctx.Update(msg.substr(40));
+  EXPECT_EQ(ctx.Finish(), Sha256Digest(msg));
+}
+
+TEST(HmacTest, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(DigestToHex(HmacSha256(key, "Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  Bytes key = ToBytes("Jefe");
+  EXPECT_EQ(DigestToHex(HmacSha256(key, "what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case6LongKey) {
+  Bytes key(131, 0xaa);
+  EXPECT_EQ(DigestToHex(HmacSha256(
+                key, "Test Using Larger Than Block-Size Key - Hash Key First")),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(SignerTest, SignVerifyRoundTrip) {
+  KeyStore store;
+  auto signer = store.RegisterNode({0, 1});
+  Bytes msg = ToBytes("commit record 42");
+  Signature sig = signer->Sign(msg);
+  EXPECT_EQ(sig.signer, (net::NodeId{0, 1}));
+  EXPECT_TRUE(store.Verify(msg, sig));
+}
+
+TEST(SignerTest, TamperedMessageFailsVerification) {
+  KeyStore store;
+  auto signer = store.RegisterNode({0, 1});
+  Signature sig = signer->Sign(ToBytes("original"));
+  EXPECT_FALSE(store.Verify(ToBytes("tampered"), sig));
+}
+
+TEST(SignerTest, SignatureNotTransferableBetweenNodes) {
+  KeyStore store;
+  auto signer1 = store.RegisterNode({0, 1});
+  store.RegisterNode({0, 2});
+  Bytes msg = ToBytes("msg");
+  Signature sig = signer1->Sign(msg);
+  // A byzantine node relabeling the signature as node 0-2's does not verify.
+  sig.signer = {0, 2};
+  EXPECT_FALSE(store.Verify(msg, sig));
+}
+
+TEST(SignerTest, UnknownSignerFailsVerification) {
+  KeyStore store;
+  Signature sig;
+  sig.signer = {9, 9};
+  EXPECT_FALSE(store.Verify(ToBytes("m"), sig));
+}
+
+TEST(SignerTest, RegisterIsIdempotent) {
+  KeyStore store;
+  auto a = store.RegisterNode({1, 0});
+  auto b = store.RegisterNode({1, 0});
+  Bytes msg = ToBytes("m");
+  EXPECT_EQ(a->Sign(msg).mac, b->Sign(msg).mac);
+}
+
+TEST(ProofTest, ThresholdOfDistinctSigners) {
+  KeyStore store;
+  auto s0 = store.RegisterNode({0, 0});
+  auto s1 = store.RegisterNode({0, 1});
+  Bytes msg = ToBytes("transmission record");
+  std::vector<Signature> proof = {s0->Sign(msg), s1->Sign(msg)};
+  EXPECT_TRUE(store.VerifyProof(msg, proof, /*site=*/0, /*threshold=*/2));
+  EXPECT_FALSE(store.VerifyProof(msg, proof, 0, 3));
+}
+
+TEST(ProofTest, DuplicateSignersDoNotCount) {
+  KeyStore store;
+  auto s0 = store.RegisterNode({0, 0});
+  Bytes msg = ToBytes("m");
+  std::vector<Signature> proof = {s0->Sign(msg), s0->Sign(msg),
+                                  s0->Sign(msg)};
+  EXPECT_FALSE(store.VerifyProof(msg, proof, 0, 2));
+}
+
+TEST(ProofTest, WrongSiteSignaturesIgnored) {
+  KeyStore store;
+  auto s0 = store.RegisterNode({0, 0});
+  auto other = store.RegisterNode({1, 0});
+  Bytes msg = ToBytes("m");
+  std::vector<Signature> proof = {s0->Sign(msg), other->Sign(msg)};
+  EXPECT_FALSE(store.VerifyProof(msg, proof, /*site=*/0, /*threshold=*/2));
+  EXPECT_TRUE(store.VerifyProof(msg, proof, /*site=*/0, /*threshold=*/1));
+}
+
+TEST(ProofTest, InvalidSignaturesIgnored) {
+  KeyStore store;
+  auto s0 = store.RegisterNode({0, 0});
+  store.RegisterNode({0, 1});
+  Bytes msg = ToBytes("m");
+  Signature forged;
+  forged.signer = {0, 1};  // claims to be 0-1 but mac is zeroed
+  std::vector<Signature> proof = {s0->Sign(msg), forged};
+  EXPECT_FALSE(store.VerifyProof(msg, proof, 0, 2));
+}
+
+TEST(ProofCodecTest, RoundTrip) {
+  KeyStore store;
+  auto s0 = store.RegisterNode({2, 3});
+  auto s1 = store.RegisterNode({2, 4});
+  Bytes msg = ToBytes("payload");
+  std::vector<Signature> proof = {s0->Sign(msg), s1->Sign(msg)};
+
+  Encoder enc;
+  EncodeProof(&enc, proof);
+  Decoder dec(enc.buffer());
+  std::vector<Signature> decoded;
+  ASSERT_TRUE(DecodeProof(&dec, &decoded).ok());
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0], proof[0]);
+  EXPECT_EQ(decoded[1], proof[1]);
+  EXPECT_TRUE(store.VerifyProof(msg, decoded, 2, 2));
+}
+
+TEST(ProofCodecTest, OversizedProofRejected) {
+  Encoder enc;
+  enc.PutVarint(100000);
+  Decoder dec(enc.buffer());
+  std::vector<Signature> decoded;
+  EXPECT_TRUE(DecodeProof(&dec, &decoded).IsCorruption());
+}
+
+}  // namespace
+}  // namespace blockplane::crypto

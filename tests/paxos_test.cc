@@ -1,0 +1,211 @@
+// Paxos tests: leader election, replication, ordering, failover safety
+// (max-ballot adoption), forwarding, and quorum-loss behaviour.
+#include "paxos/node.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace blockplane::paxos {
+namespace {
+
+using net::NodeId;
+using net::Topology;
+using sim::Milliseconds;
+using sim::Seconds;
+
+class PaxosHarness {
+ public:
+  explicit PaxosHarness(int n, uint64_t seed = 1,
+                        Topology topology = Topology::Uniform(1, 0))
+      : simulator_(seed),
+        network_(&simulator_,
+                 topology.num_sites() >= n ? std::move(topology)
+                                           : Topology::Uniform(n, 10.0)) {
+    for (int i = 0; i < n; ++i) {
+      config_.nodes.push_back(NodeId{i % network_.topology().num_sites(), 0});
+    }
+    for (int i = 0; i < n; ++i) {
+      auto node = std::make_unique<PaxosNode>(
+          &network_, config_, config_.nodes[i],
+          [this, i](uint64_t slot, const Bytes& value) {
+            commits_.push_back({i, slot, ToString(value)});
+          });
+      node->RegisterWithNetwork();
+      nodes_.push_back(std::move(node));
+    }
+  }
+
+  /// Elects node `index` as the stable leader.
+  void ElectLeader(int index) {
+    nodes_[index]->StartLeaderElection();
+    ASSERT_TRUE(simulator_.RunUntilCondition(
+        [&] { return nodes_[index]->IsLeader(); },
+        simulator_.Now() + Seconds(10)));
+  }
+
+  bool SubmitAndWait(int node, const std::string& value,
+                     sim::SimTime deadline = Seconds(10)) {
+    size_t target = nodes_[node]->last_committed() + 1;
+    nodes_[node]->Submit(ToBytes(value));
+    return simulator_.RunUntilCondition(
+        [&] { return nodes_[node]->last_committed() >= target; },
+        simulator_.Now() + deadline);
+  }
+
+  std::vector<std::string> LogOf(int node) const {
+    std::vector<std::string> out;
+    for (auto& [slot, value] : nodes_[node]->decided_log()) {
+      if (!value.empty()) out.push_back(ToString(value));
+    }
+    return out;
+  }
+
+  struct Commit {
+    int node;
+    uint64_t slot;
+    std::string value;
+  };
+
+  sim::Simulator simulator_;
+  net::Network network_;
+  PaxosConfig config_;
+  std::vector<std::unique_ptr<PaxosNode>> nodes_;
+  std::vector<Commit> commits_;
+};
+
+TEST(PaxosTest, ElectsLeaderAndReplicates) {
+  PaxosHarness harness(3);
+  harness.ElectLeader(0);
+  ASSERT_TRUE(harness.SubmitAndWait(0, "first"));
+  harness.simulator_.RunFor(Seconds(1));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(harness.LogOf(i), std::vector<std::string>{"first"});
+  }
+}
+
+TEST(PaxosTest, TotalOrderAcrossManyValues) {
+  PaxosHarness harness(5);
+  harness.ElectLeader(0);
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(harness.SubmitAndWait(0, "v" + std::to_string(i)));
+  }
+  harness.simulator_.RunFor(Seconds(1));
+  auto reference = harness.LogOf(0);
+  ASSERT_EQ(reference.size(), 25u);
+  for (int i = 1; i < 5; ++i) EXPECT_EQ(harness.LogOf(i), reference);
+  for (int i = 0; i < 25; ++i) EXPECT_EQ(reference[i], "v" + std::to_string(i));
+}
+
+TEST(PaxosTest, FollowerForwardsToLeader) {
+  PaxosHarness harness(3);
+  harness.ElectLeader(1);
+  // Submit at a follower; it forwards to node 1.
+  harness.nodes_[0]->Submit(ToBytes("forwarded"));
+  ASSERT_TRUE(harness.simulator_.RunUntilCondition(
+      [&] { return harness.nodes_[0]->last_committed() >= 1; }, Seconds(10)));
+  EXPECT_EQ(harness.LogOf(0), std::vector<std::string>{"forwarded"});
+}
+
+TEST(PaxosTest, HigherBallotWinsElection) {
+  PaxosHarness harness(3);
+  harness.ElectLeader(0);
+  harness.ElectLeader(2);  // usurps with a higher ballot
+  harness.simulator_.RunFor(Seconds(1));
+  EXPECT_FALSE(harness.nodes_[0]->IsLeader());
+  EXPECT_TRUE(harness.nodes_[2]->IsLeader());
+  ASSERT_TRUE(harness.SubmitAndWait(2, "by new leader"));
+}
+
+TEST(PaxosTest, NewLeaderAdoptsAcceptedValue) {
+  // Safety: a value accepted by a majority must survive leader changes.
+  PaxosHarness harness(3);
+  harness.ElectLeader(0);
+  ASSERT_TRUE(harness.SubmitAndWait(0, "sticky"));
+  // Elect a different leader and commit more.
+  harness.ElectLeader(1);
+  ASSERT_TRUE(harness.SubmitAndWait(1, "after switch"));
+  harness.simulator_.RunFor(Seconds(1));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(harness.LogOf(i),
+              (std::vector<std::string>{"sticky", "after switch"}));
+  }
+}
+
+TEST(PaxosTest, FailureDetectorElectsNewLeaderOnCrash) {
+  PaxosHarness harness(3, /*seed=*/5);
+  harness.ElectLeader(0);
+  for (auto& node : harness.nodes_) node->EnableFailureDetector();
+  ASSERT_TRUE(harness.SubmitAndWait(0, "pre-crash"));
+  harness.network_.Crash(harness.config_.nodes[0]);
+  // Some follower should eventually take over.
+  ASSERT_TRUE(harness.simulator_.RunUntilCondition(
+      [&] {
+        return harness.nodes_[1]->IsLeader() || harness.nodes_[2]->IsLeader();
+      },
+      harness.simulator_.Now() + Seconds(30)));
+  int new_leader = harness.nodes_[1]->IsLeader() ? 1 : 2;
+  ASSERT_TRUE(harness.SubmitAndWait(new_leader, "post-crash", Seconds(30)));
+  EXPECT_EQ(harness.LogOf(new_leader).back(), "post-crash");
+  EXPECT_EQ(harness.LogOf(new_leader).front(), "pre-crash");
+}
+
+TEST(PaxosTest, MinorityPartitionCannotCommit) {
+  PaxosHarness harness(3);
+  harness.ElectLeader(0);
+  // Cut the leader's site off from both followers (nodes are on distinct
+  // sites in the uniform topology).
+  harness.network_.PartitionSites(0, 1);
+  harness.network_.PartitionSites(0, 2);
+  EXPECT_FALSE(harness.SubmitAndWait(0, "isolated", Seconds(3)));
+  // Heal; the pending value goes through.
+  harness.network_.HealPartition(0, 1);
+  harness.network_.HealPartition(0, 2);
+  // Re-drive replication by submitting again (the accept was dropped).
+  ASSERT_TRUE(harness.SubmitAndWait(0, "healed", Seconds(10)));
+}
+
+TEST(PaxosTest, WideAreaLatencyMatchesClosestMajority) {
+  // Fig. 7 sanity: paxos replication from a Virginia leader takes about one
+  // RTT to the second-closest datacenter (70 ms to Ireland).
+  PaxosHarness harness(4, 1, Topology::Aws4());
+  harness.ElectLeader(net::kVirginia);
+  harness.simulator_.RunFor(Seconds(1));
+  sim::SimTime start = harness.simulator_.Now();
+  ASSERT_TRUE(harness.SubmitAndWait(net::kVirginia, "geo"));
+  double ms = sim::ToMillis(harness.simulator_.Now() - start);
+  EXPECT_GT(ms, 65.0);
+  EXPECT_LT(ms, 90.0);
+}
+
+class PaxosSweepTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PaxosSweepTest, AgreementHoldsAcrossSizesAndSeeds) {
+  auto [n, seed] = GetParam();
+  PaxosHarness harness(n, static_cast<uint64_t>(seed));
+  harness.ElectLeader(seed % n);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(harness.SubmitAndWait(seed % n, "op" + std::to_string(i)));
+  }
+  harness.simulator_.RunFor(Seconds(1));
+  auto reference = harness.LogOf(0);
+  ASSERT_EQ(reference.size(), 10u);
+  for (int i = 1; i < n; ++i) EXPECT_EQ(harness.LogOf(i), reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, PaxosSweepTest,
+    ::testing::Combine(::testing::Values(3, 5, 7),
+                       ::testing::Values(1, 2, 3)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace blockplane::paxos
