@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate, meant to be run before every merge:
+#
+#   1. Release-ish build + full ctest suite (the tier-1 contract from
+#      ROADMAP.md: every test passing, determinism bit-for-bit).
+#   2. The same suite under ASan+UBSan in a separate Debug build tree
+#      (build-asan/). The zero-copy payload paths share one allocation
+#      across broadcast fan-out, retransmission buffers, and reorder
+#      buffers — exactly the kind of lifetime bug a sanitizer catches and
+#      a passing test hides.
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast  skip the sanitizer pass (pass 1 only).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "=== pass 1: tier-1 build + tests ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure
+
+if [[ "$FAST" == "1" ]]; then
+  echo "=== --fast: skipping sanitizer pass ==="
+  exit 0
+fi
+
+echo "=== pass 2: ASan+UBSan build + tests ==="
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+  >/dev/null
+cmake --build build-asan -j "$JOBS"
+ASAN_OPTIONS=detect_leaks=1 ctest --test-dir build-asan --output-on-failure
+
+echo "=== all checks passed ==="

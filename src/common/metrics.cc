@@ -8,6 +8,11 @@
 
 namespace blockplane {
 
+HotPathStats& hotpath_stats() {
+  static HotPathStats stats;
+  return stats;
+}
+
 void Histogram::Add(double value) {
   samples_.push_back(value);
   sorted_ = false;

@@ -50,6 +50,38 @@ class TimeSeries {
   std::vector<Point> points_;
 };
 
+/// Process-wide counters for the byzantizing hot path (encode-once /
+/// verify-once / zero-copy; see DESIGN.md §"Hot path & caching").
+///
+/// These are observability-only: nothing reads them to make protocol
+/// decisions, so they cannot perturb determinism. Plain int64 fields keep
+/// the increment cost to one add on paths that run once per signature or
+/// per broadcast fan-out. Benchmarks and tests snapshot/Reset() them.
+struct HotPathStats {
+  /// Signature verifications answered from a verify-once cache (the HMAC
+  /// recomputation was skipped entirely).
+  int64_t sig_cache_hits = 0;
+  /// Verifications that had to run the full HMAC (and seeded the cache).
+  int64_t sig_cache_misses = 0;
+  /// Canonical-body/header encodes skipped because a memoized verdict or a
+  /// shared already-encoded buffer made re-encoding unnecessary.
+  int64_t encodes_elided = 0;
+  /// Payload bytes that would have been deep-copied by broadcast fan-out,
+  /// retransmission buffers, or out-of-order receive buffering before the
+  /// switch to shared (refcounted) payloads.
+  int64_t bytes_copied_saved = 0;
+  /// MACs computed through a PrecomputedHmacKey midstate (2 compressions)
+  /// instead of the naive schedule (4 compressions + setup).
+  int64_t hmac_precomputed_ops = 0;
+  /// Entries evicted from bounded verify-once caches.
+  int64_t verify_cache_evictions = 0;
+
+  void Reset() { *this = HotPathStats{}; }
+};
+
+/// The process-wide hot-path counter block.
+HotPathStats& hotpath_stats();
+
 /// Named counters, useful for asserting message complexity in tests
 /// (e.g. "wide-area messages sent").
 class CounterSet {

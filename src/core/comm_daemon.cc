@@ -104,7 +104,7 @@ void CommDaemon::RequestAttestations(uint64_t pos) {
 
 void CommDaemon::OnAttestResponse(const net::Message& msg) {
   AttestResponseMsg response;
-  if (!AttestResponseMsg::Decode(msg.payload, &response).ok()) return;
+  if (!AttestResponseMsg::Decode(msg.body(), &response).ok()) return;
   if (response.purpose != AttestPurpose::kTransmission) return;
   auto it = flights_.find(response.pos);
   if (it == flights_.end() || it->second.sigs_complete) return;
@@ -160,7 +160,7 @@ void CommDaemon::ArmRetransmit(uint64_t pos) {
 
 void CommDaemon::OnTransmissionAck(const net::Message& msg) {
   TransmissionAckMsg ack;
-  if (!TransmissionAckMsg::Decode(msg.payload, &ack).ok()) return;
+  if (!TransmissionAckMsg::Decode(msg.body(), &ack).ok()) return;
   if (msg.src.site != dest_) return;
   auto it = flights_.find(ack.src_log_pos);
   if (it == flights_.end()) return;
@@ -217,7 +217,7 @@ void CommDaemon::PollReceiver() {
 void CommDaemon::OnRecvStatusReply(const net::Message& msg) {
   if (active_) return;
   RecvStatusReplyMsg reply;
-  if (!RecvStatusReplyMsg::Decode(msg.payload, &reply).ok()) return;
+  if (!RecvStatusReplyMsg::Decode(msg.body(), &reply).ok()) return;
   if (msg.src.site != dest_ || reply.src_site != host_->origin_site()) return;
   status_replies_[msg.src] = reply.last_pos;
   int needed = host_->options_.fi + 1;

@@ -61,7 +61,7 @@ void BlockplaneNode::SendTo(net::NodeId dst, net::MessageType type,
   msg.src = self_;
   msg.dst = dst;
   msg.type = type;
-  msg.payload = std::move(payload);
+  msg.set_body(std::move(payload));
   if (msg.dst == self_) {
     HandleMessage(msg);
     return;
@@ -104,7 +104,7 @@ void BlockplaneNode::HandleMessage(const net::Message& msg) {
       // the geo position.
       if (!is_mirror()) return;
       MirrorFetchMsg fetch;
-      if (!MirrorFetchMsg::Decode(msg.payload, &fetch).ok()) return;
+      if (!MirrorFetchMsg::Decode(msg.body(), &fetch).ok()) return;
       if (fetch.origin_site != origin_site_) return;
       constexpr uint64_t kMaxEntries = 64;
       for (uint64_t pos = fetch.from_geo_pos + 1;
@@ -121,7 +121,7 @@ void BlockplaneNode::HandleMessage(const net::Message& msg) {
     }
     case kReadRequest: {
       ReadRequestMsg request;
-      if (!ReadRequestMsg::Decode(msg.payload, &request).ok()) return;
+      if (!ReadRequestMsg::Decode(msg.body(), &request).ok()) return;
       ReadReplyMsg reply;
       reply.read_id = request.read_id;
       reply.pos = request.pos;
@@ -410,7 +410,7 @@ void BlockplaneNode::OnSnapshotCertificate(const pbft::SnapshotMsg& snapshot) {
 void BlockplaneNode::OnLogSyncRequest(const net::Message& msg) {
   if (replica_->config().ReplicaIndex(msg.src) < 0) return;
   LogSyncRequestMsg request;
-  if (!LogSyncRequestMsg::Decode(msg.payload, &request).ok()) return;
+  if (!LogSyncRequestMsg::Decode(msg.body(), &request).ok()) return;
   constexpr uint64_t kMaxEntries = 256;
   uint64_t sent = 0;
   for (uint64_t pos = request.from_pos;
@@ -429,7 +429,7 @@ void BlockplaneNode::OnLogSyncReply(const net::Message& msg) {
   if (sync_target_seq_ == 0) return;
   if (replica_->config().ReplicaIndex(msg.src) < 0) return;
   LogSyncReplyMsg reply;
-  if (!LogSyncReplyMsg::Decode(msg.payload, &reply).ok()) return;
+  if (!LogSyncReplyMsg::Decode(msg.body(), &reply).ok()) return;
   if (reply.pos <= applied_high_ || reply.pos > sync_target_seq_) return;
   sync_buffer_.emplace(reply.pos, std::move(reply.value));
   TryInstallSyncedLog();
@@ -479,7 +479,7 @@ void BlockplaneNode::TryInstallSyncedLog() {
 
 void BlockplaneNode::OnTransmission(const net::Message& msg) {
   TransmissionRecord tr;
-  if (!TransmissionRecord::Decode(msg.payload, &tr).ok()) return;
+  if (!TransmissionRecord::Decode(msg.body(), &tr).ok()) return;
   if (is_mirror() || tr.dest_site != origin_site_) return;
 
   if (tr.src_log_pos <= last_received_pos(tr.src_site)) {
@@ -500,7 +500,7 @@ void BlockplaneNode::OnTransmission(const net::Message& msg) {
 void BlockplaneNode::OnAttestRequest(const net::Message& msg) {
   if (refuse_attestations_) return;
   AttestRequestMsg request;
-  if (!AttestRequestMsg::Decode(msg.payload, &request).ok()) return;
+  if (!AttestRequestMsg::Decode(msg.body(), &request).ok()) return;
 
   AttestResponseMsg response;
   response.purpose = request.purpose;
@@ -570,7 +570,7 @@ uint64_t BlockplaneNode::PrevCommPos(net::SiteId dest, uint64_t pos) const {
 
 void BlockplaneNode::OnRecvStatusQuery(const net::Message& msg) {
   RecvStatusQueryMsg query;
-  if (!RecvStatusQueryMsg::Decode(msg.payload, &query).ok()) return;
+  if (!RecvStatusQueryMsg::Decode(msg.body(), &query).ok()) return;
   RecvStatusReplyMsg reply;
   reply.src_site = query.src_site;
   if (is_mirror()) {
@@ -590,7 +590,7 @@ void BlockplaneNode::OnRecvStatusQuery(const net::Message& msg) {
 void BlockplaneNode::OnGeoReplicate(const net::Message& msg) {
   if (!is_mirror()) return;
   GeoReplicateMsg replicate;
-  if (!GeoReplicateMsg::Decode(msg.payload, &replicate).ok()) return;
+  if (!GeoReplicateMsg::Decode(msg.body(), &replicate).ok()) return;
 
   if (replicate.geo_pos <= mirror_high_pos_) {
     // Already mirrored: re-ack (the acting participant's first ack set may
@@ -616,7 +616,7 @@ void BlockplaneNode::OnGeoReplicate(const net::Message& msg) {
 
 void BlockplaneNode::OnGeoProofBundle(const net::Message& msg) {
   GeoProofBundleMsg bundle;
-  if (!GeoProofBundleMsg::Decode(msg.payload, &bundle).ok()) return;
+  if (!GeoProofBundleMsg::Decode(msg.body(), &bundle).ok()) return;
   geo_proofs_[bundle.pos] = std::move(bundle.proof);
   for (auto& daemon : daemons_) daemon->NotifyLogAppend();
 }

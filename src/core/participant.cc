@@ -48,7 +48,7 @@ void Participant::SendTo(net::NodeId dst, net::MessageType type,
   msg.src = self_;
   msg.dst = dst;
   msg.type = type;
-  msg.payload = std::move(payload);
+  msg.set_body(std::move(payload));
   network_->Send(std::move(msg));
 }
 
@@ -166,7 +166,7 @@ void Participant::StartGeoRound(uint64_t unit_pos) {
 void Participant::OnAttestResponse(const net::Message& msg) {
   if (!geo_round_) return;
   AttestResponseMsg response;
-  if (!AttestResponseMsg::Decode(msg.payload, &response).ok()) return;
+  if (!AttestResponseMsg::Decode(msg.body(), &response).ok()) return;
   if (response.purpose != AttestPurpose::kGeoSource) return;
   if (response.sig.signer != msg.src) return;
   GeoRound& round = *geo_round_;
@@ -232,7 +232,7 @@ void Participant::ReplicateRound() {
 void Participant::OnGeoAck(const net::Message& msg) {
   if (!geo_round_) return;
   GeoAckMsg ack;
-  if (!GeoAckMsg::Decode(msg.payload, &ack).ok()) return;
+  if (!GeoAckMsg::Decode(msg.body(), &ack).ok()) return;
   GeoRound& round = *geo_round_;
   if (ack.geo_pos != round.geo_pos) return;
   if (ack.sig.signer != msg.src) return;
@@ -347,7 +347,7 @@ uint64_t AttestedHigh(const std::map<net::NodeId, uint64_t>& replies,
 void Participant::OnRecvStatusReply(const net::Message& msg) {
   if (mirror_status_origin_ < 0 || !op_in_flight_) return;
   RecvStatusReplyMsg reply;
-  if (!RecvStatusReplyMsg::Decode(msg.payload, &reply).ok()) return;
+  if (!RecvStatusReplyMsg::Decode(msg.body(), &reply).ok()) return;
   if (reply.src_site != mirror_status_origin_) return;
   mirror_status_[msg.src.site][msg.src] = reply.last_pos;
   // Proceed as soon as the local quorum plus every peer quorum answered;
@@ -419,7 +419,7 @@ void Participant::ProceedMirrorOp() {
 
 void Participant::OnMirrorEntry(const net::Message& msg) {
   MirrorEntryMsg entry;
-  if (!MirrorEntryMsg::Decode(msg.payload, &entry).ok()) return;
+  if (!MirrorEntryMsg::Decode(msg.body(), &entry).ok()) return;
   LogRecord outer;
   if (!LogRecord::Decode(entry.record, &outer).ok()) return;
   if (outer.type != RecordType::kMirrored) return;
@@ -527,7 +527,7 @@ void Participant::OnDeliverNotice(const net::Message& msg) {
   // Only this site's own unit nodes may feed our reception buffers.
   if (msg.src.site != site_ || unit_group_.ReplicaIndex(msg.src) < 0) return;
   DeliverNoticeMsg notice;
-  if (!DeliverNoticeMsg::Decode(msg.payload, &notice).ok()) return;
+  if (!DeliverNoticeMsg::Decode(msg.body(), &notice).ok()) return;
   if (notice.src_log_pos <= delivered_pos_[notice.src_site]) return;
 
   NoticeKey key{notice.src_site, notice.src_log_pos,
@@ -600,7 +600,7 @@ void Participant::Read(uint64_t pos, ReadStrategy strategy, ReadCallback done) {
 
 void Participant::OnReadReply(const net::Message& msg) {
   ReadReplyMsg reply;
-  if (!ReadReplyMsg::Decode(msg.payload, &reply).ok()) return;
+  if (!ReadReplyMsg::Decode(msg.body(), &reply).ok()) return;
   auto it = reads_.find(reply.read_id);
   if (it == reads_.end()) return;
   if (msg.src.site != site_ || unit_group_.ReplicaIndex(msg.src) < 0) return;

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/bytes.h"
+#include "common/macros.h"
 
 namespace blockplane::crypto {
 
@@ -104,22 +105,23 @@ void Sha256::Update(const uint8_t* data, size_t len) {
 }
 
 Digest Sha256::Finish() {
-  uint64_t bit_len = total_len_ * 8;
-  // Padding: 0x80, zeros, then the 64-bit big-endian length.
-  uint8_t pad = 0x80;
-  Update(&pad, 1);
-  uint8_t zero = 0;
-  while (buffer_len_ != 56) {
-    Update(&zero, 1);
-    // Update() adjusts total_len_, but padding must not count; we fix the
-    // length below by using the captured bit_len.
+  const uint64_t bit_len = total_len_ * 8;
+  // Padding: 0x80, zeros up to byte 56 of the final block, then the 64-bit
+  // big-endian message length. Built directly in the block buffer with bulk
+  // memset/memcpy (not byte-at-a-time Update() calls), and without touching
+  // total_len_: padding bytes are not message bytes.
+  size_t n = buffer_len_;  // < 64: Update() flushes full blocks eagerly
+  buffer_[n++] = 0x80;
+  if (n > 56) {
+    // No room for the length in this block; zero-fill and spill over.
+    std::memset(buffer_ + n, 0, 64 - n);
+    ProcessBlock(buffer_);
+    n = 0;
   }
-  uint8_t len_bytes[8];
+  std::memset(buffer_ + n, 0, 56 - n);
   for (int i = 0; i < 8; ++i) {
-    len_bytes[i] = static_cast<uint8_t>(bit_len >> (56 - 8 * i));
+    buffer_[56 + i] = static_cast<uint8_t>(bit_len >> (56 - 8 * i));
   }
-  // Feed the length bytes directly into the block buffer.
-  std::memcpy(buffer_ + buffer_len_, len_bytes, 8);
   ProcessBlock(buffer_);
   buffer_len_ = 0;
 
@@ -131,6 +133,21 @@ Digest Sha256::Finish() {
     out[i * 4 + 3] = static_cast<uint8_t>(state_[i]);
   }
   return out;
+}
+
+Sha256Midstate Sha256::CaptureMidstate() const {
+  BP_CHECK_MSG(buffer_len_ == 0,
+               "midstate capture requires a block-aligned byte count");
+  Sha256Midstate midstate;
+  std::memcpy(midstate.state, state_, sizeof(state_));
+  midstate.processed_bytes = total_len_;
+  return midstate;
+}
+
+void Sha256::RestoreMidstate(const Sha256Midstate& midstate) {
+  std::memcpy(state_, midstate.state, sizeof(state_));
+  total_len_ = midstate.processed_bytes;
+  buffer_len_ = 0;
 }
 
 Digest Sha256Digest(const uint8_t* data, size_t len) {

@@ -14,6 +14,15 @@ namespace blockplane::crypto {
 /// A 32-byte SHA-256 digest.
 using Digest = std::array<uint8_t, 32>;
 
+/// A captured compression-function state after a whole number of 64-byte
+/// blocks. Lets long-lived keys amortize their first block (HMAC ipad/opad)
+/// across many MAC computations; see PrecomputedHmacKey in hmac.h.
+struct Sha256Midstate {
+  uint32_t state[8];
+  /// Bytes already absorbed into `state` (always a multiple of 64).
+  uint64_t processed_bytes;
+};
+
 /// Streaming SHA-256 context.
 class Sha256 {
  public:
@@ -28,6 +37,15 @@ class Sha256 {
   /// Finalizes and returns the digest; the context must be Reset() before
   /// reuse.
   Digest Finish();
+
+  /// Captures the current compression state. Only valid when the byte count
+  /// so far is a multiple of the 64-byte block size (no buffered partial
+  /// block); checked.
+  Sha256Midstate CaptureMidstate() const;
+
+  /// Resets the context to a previously captured midstate, as if the bytes
+  /// it covers had just been absorbed.
+  void RestoreMidstate(const Sha256Midstate& midstate);
 
  private:
   void ProcessBlock(const uint8_t block[64]);

@@ -1,10 +1,48 @@
 #include "crypto/signer.h"
 
+#include <algorithm>
 #include <set>
 
 #include "common/codec.h"
+#include "common/metrics.h"
 
 namespace blockplane::crypto {
+
+size_t KeyStore::VerifiedSigHash::operator()(const VerifiedSig& v) const {
+  // FNV-1a over the discriminating prefix. The MAC is 32 bytes of
+  // (pseudo)random data, so hashing its first 16 bytes plus the signer id
+  // spreads perfectly; equality still compares the full triple, so hash
+  // collisions are correctness-neutral.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint64_t x) {
+    h = (h ^ x) * 0x100000001b3ULL;
+  };
+  mix(static_cast<uint64_t>(static_cast<uint32_t>(v.signer.site)) << 32 |
+      static_cast<uint32_t>(v.signer.index));
+  for (int i = 0; i < 16; i += 8) {
+    uint64_t word = 0;
+    for (int j = 0; j < 8; ++j) {
+      word |= static_cast<uint64_t>(v.mac[i + j]) << (8 * j);
+    }
+    mix(word);
+  }
+  return static_cast<size_t>(h);
+}
+
+bool KeyStore::CacheLookup(const VerifiedSig& entry) const {
+  return verified_cur_.count(entry) > 0 || verified_prev_.count(entry) > 0;
+}
+
+void KeyStore::CacheInsert(VerifiedSig entry) const {
+  if (verify_cache_capacity_ == 0) return;
+  if (verified_cur_.size() >= std::max<size_t>(1, verify_cache_capacity_ / 2)) {
+    hotpath_stats().verify_cache_evictions +=
+        static_cast<int64_t>(verified_prev_.size());
+    verified_prev_ = std::move(verified_cur_);
+    verified_cur_.clear();
+  }
+  verified_cur_.insert(std::move(entry));
+}
 
 std::unique_ptr<Signer> KeyStore::RegisterNode(net::NodeId node) {
   auto it = keys_.find(node);
@@ -15,7 +53,9 @@ std::unique_ptr<Signer> KeyStore::RegisterNode(net::NodeId node) {
     enc.PutU32(static_cast<uint32_t>(node.site));
     enc.PutU32(static_cast<uint32_t>(node.index));
     Digest key = Sha256Digest(enc.buffer());
-    keys_.emplace(node, Bytes(key.begin(), key.end()));
+    Bytes raw(key.begin(), key.end());
+    PrecomputedHmacKey hmac(raw);
+    keys_.emplace(node, KeyEntry{std::move(raw), std::move(hmac)});
   }
   return std::unique_ptr<Signer>(new Signer(this, node));
 }
@@ -23,13 +63,24 @@ std::unique_ptr<Signer> KeyStore::RegisterNode(net::NodeId node) {
 Digest KeyStore::SignAs(net::NodeId node, const Bytes& msg) const {
   auto it = keys_.find(node);
   BP_CHECK_MSG(it != keys_.end(), "signing for unregistered node");
-  return HmacSha256(it->second, msg);
+  return it->second.hmac.Sign(msg);
 }
 
 bool KeyStore::Verify(const Bytes& msg, const Signature& sig) const {
   auto it = keys_.find(sig.signer);
   if (it == keys_.end()) return false;
-  return HmacSha256(it->second, msg) == sig.mac;
+  if (verify_cache_capacity_ > 0) {
+    VerifiedSig probe{sig.signer, sig.mac, msg};
+    if (CacheLookup(probe)) {
+      hotpath_stats().sig_cache_hits++;
+      return true;
+    }
+    bool ok = it->second.hmac.Verify(msg, sig.mac);
+    hotpath_stats().sig_cache_misses++;
+    if (ok) CacheInsert(std::move(probe));
+    return ok;
+  }
+  return it->second.hmac.Verify(msg, sig.mac);
 }
 
 bool KeyStore::VerifyProof(const Bytes& msg,

@@ -13,6 +13,7 @@
 
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/codec.h"
@@ -36,6 +37,19 @@ struct Signature {
 class Signer;
 
 /// Registry of node keys for one simulated deployment.
+///
+/// Hot-path design (see DESIGN.md §"Hot path & caching"):
+///   * every key is stored alongside its PrecomputedHmacKey, so signing and
+///     verifying cost 2 SHA-256 compressions instead of 4 plus schedule
+///     setup — keys are long-lived per node, the midstates are computed
+///     once at registration;
+///   * Verify() consults a bounded verify-once cache of (signer, mac,
+///     message) triples that have already verified. Quorum re-deliveries,
+///     retransmissions, and certificates re-checked by every replica hit
+///     the cache and skip the HMAC entirely. Only *successful*
+///     verifications are cached, and a hit requires the full triple to
+///     match byte-for-byte, so a forged or corrupted signature can never
+///     ride a cache entry: it misses and takes (and fails) the full check.
 class KeyStore {
  public:
   KeyStore() = default;
@@ -54,12 +68,54 @@ class KeyStore {
   bool VerifyProof(const Bytes& msg, const std::vector<Signature>& proof,
                    net::SiteId site, int threshold) const;
 
+  /// Bounds the verify-once cache (total entries across both generations).
+  /// 0 disables caching; the default keeps roughly one WAN round's worth of
+  /// certificates for a 4-site deployment.
+  void set_verify_cache_capacity(size_t capacity) {
+    verify_cache_capacity_ = capacity;
+    if (capacity == 0) {
+      verified_cur_.clear();
+      verified_prev_.clear();
+    }
+  }
+  size_t verify_cache_capacity() const { return verify_cache_capacity_; }
+
  private:
   friend class Signer;
   Digest SignAs(net::NodeId node, const Bytes& msg) const;
 
-  std::unordered_map<net::NodeId, Bytes, net::NodeIdHash> keys_;
+  /// One verified (signer, mac, message) triple.
+  struct VerifiedSig {
+    net::NodeId signer;
+    Digest mac;
+    Bytes msg;
+
+    friend bool operator==(const VerifiedSig& a, const VerifiedSig& b) {
+      return a.signer == b.signer && a.mac == b.mac && a.msg == b.msg;
+    }
+  };
+  struct VerifiedSigHash {
+    size_t operator()(const VerifiedSig& v) const;
+  };
+  using VerifiedSet = std::unordered_set<VerifiedSig, VerifiedSigHash>;
+
+  bool CacheLookup(const VerifiedSig& entry) const;
+  void CacheInsert(VerifiedSig entry) const;
+
+  struct KeyEntry {
+    Bytes raw;
+    PrecomputedHmacKey hmac;
+  };
+  std::unordered_map<net::NodeId, KeyEntry, net::NodeIdHash> keys_;
   uint64_t next_key_seed_ = 0x517cc1b727220a95ULL;
+
+  /// Two-generation bounded cache: inserts go to `cur`; when `cur` fills to
+  /// half the capacity, it becomes `prev` and a fresh `cur` starts. Lookups
+  /// consult both, so entries survive between half-capacity and capacity
+  /// insertions — O(1) amortized, strictly bounded memory.
+  size_t verify_cache_capacity_ = 8192;
+  mutable VerifiedSet verified_cur_;
+  mutable VerifiedSet verified_prev_;
 };
 
 /// A node's private signing capability. Only the KeyStore can mint these.

@@ -1,0 +1,10 @@
+#include "net/message.h"
+
+namespace blockplane::net {
+
+const Bytes& EmptyPayloadBytes() {
+  static const Bytes empty;
+  return empty;
+}
+
+}  // namespace blockplane::net

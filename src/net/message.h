@@ -1,8 +1,16 @@
 // The unit of communication between simulated nodes.
+//
+// Payloads are refcounted (`std::shared_ptr<const Bytes>`): a broadcast
+// fan-out, a retransmission buffer, and the simulator's in-flight delivery
+// closures all share ONE allocation instead of deep-copying the bytes per
+// recipient / per retransmit. The bytes behind a PayloadPtr are immutable —
+// anything that must mutate (e.g. fault-injected corruption) copies first.
 #ifndef BLOCKPLANE_NET_MESSAGE_H_
 #define BLOCKPLANE_NET_MESSAGE_H_
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 
 #include "common/bytes.h"
 #include "net/node_id.h"
@@ -14,15 +22,34 @@ namespace blockplane::net {
 /// control frames.
 using MessageType = uint32_t;
 
+/// Immutable, shared message payload.
+using PayloadPtr = std::shared_ptr<const Bytes>;
+
+/// Wraps an owned buffer into a shareable payload (one allocation; every
+/// subsequent fan-out copy is a refcount bump).
+inline PayloadPtr MakePayload(Bytes bytes) {
+  return std::make_shared<const Bytes>(std::move(bytes));
+}
+
+/// The canonical empty payload (so Message::body() never dereferences null).
+const Bytes& EmptyPayloadBytes();
+
 struct Message {
   NodeId src;
   NodeId dst;
   MessageType type = 0;
-  Bytes payload;
+  /// Shared payload; may be null, which reads as empty.
+  PayloadPtr payload;
 
   /// Modeled on-wire size (payload + headers). Filled by the network layer
   /// when zero.
   uint64_t wire_bytes = 0;
+
+  /// The payload bytes (empty if none). Read-only by construction.
+  const Bytes& body() const { return payload ? *payload : EmptyPayloadBytes(); }
+
+  /// Replaces the payload with a fresh single-owner buffer.
+  void set_body(Bytes bytes) { payload = MakePayload(std::move(bytes)); }
 };
 
 }  // namespace blockplane::net

@@ -24,7 +24,7 @@ void Network::Unregister(NodeId id) { hosts_.erase(id); }
 void Network::Send(Message msg) {
   BP_CHECK(msg.src.valid() && msg.dst.valid());
   if (msg.wire_bytes == 0) {
-    msg.wire_bytes = msg.payload.size() + options_.header_bytes;
+    msg.wire_bytes = msg.body().size() + options_.header_bytes;
   }
 
   const bool local = msg.src.site == msg.dst.site;
@@ -48,11 +48,16 @@ void Network::Send(Message msg) {
     counters_.Increment("dropped_messages");
     return;
   }
-  if (options_.corrupt_prob > 0 && !msg.payload.empty() &&
+  if (options_.corrupt_prob > 0 && !msg.body().empty() &&
       rng_.Bernoulli(options_.corrupt_prob)) {
     // Flip one random byte; the reliable transport's checksum catches this.
-    size_t pos = rng_.NextBelow(msg.payload.size());
-    msg.payload[pos] ^= 0xff;
+    // Payload buffers are shared (broadcast fan-out, retransmission
+    // buffers), so corruption must copy-on-write: only THIS in-flight copy
+    // gets the flipped byte, never the sender's buffer or sibling sends.
+    auto corrupted = std::make_shared<Bytes>(msg.body());
+    size_t pos = rng_.NextBelow(corrupted->size());
+    (*corrupted)[pos] ^= 0xff;
+    msg.payload = std::move(corrupted);
     counters_.Increment("corrupted_messages");
   }
 
@@ -83,6 +88,9 @@ void Network::Send(Message msg) {
 
   Deliver(msg, arrive);
   if (options_.duplicate_prob > 0 && rng_.Bernoulli(options_.duplicate_prob)) {
+    // The duplicate shares the original's payload allocation.
+    hotpath_stats().bytes_copied_saved +=
+        static_cast<int64_t>(msg.body().size());
     Deliver(msg, arrive + sim::Microseconds(10));
     counters_.Increment("duplicated_messages");
   }
@@ -93,6 +101,12 @@ void Network::Deliver(const Message& msg, sim::SimTime arrive) {
   // destination's CPU. Claiming CPU time at arrival (not at send) keeps a
   // long-flight wide-area message from reserving the receiver's CPU far in
   // the future ahead of local traffic that actually arrives earlier.
+  //
+  // Both stages capture the Message by value; with shared payloads each
+  // capture is a refcount bump, where it used to deep-copy the bytes twice
+  // per delivered message.
+  hotpath_stats().bytes_copied_saved +=
+      2 * static_cast<int64_t>(msg.body().size());
   sim_->ScheduleAt(arrive, [this, msg]() {
     sim::SimTime& cpu_free = cpu_free_at_[msg.dst];
     sim::SimTime handled_at =

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/crc32.h"
+#include "common/metrics.h"
 
 namespace blockplane::net {
 
@@ -57,7 +58,9 @@ void ReliableTransport::Send(NodeId dst, MessageType type, Bytes payload) {
   PeerSend& peer = send_state_[dst];
   uint64_t seq = peer.next_seq++;
   Pending pending;
-  pending.frame = EncodeDataFrame(seq, type, payload);
+  // Encode the frame exactly once; every transmission (first send and all
+  // retransmits) shares this one buffer.
+  pending.frame = MakePayload(EncodeDataFrame(seq, type, payload));
   peer.in_flight.emplace(seq, std::move(pending));
   TransmitFrame(dst, seq);
   ArmTimer(dst, seq);
@@ -69,7 +72,11 @@ void ReliableTransport::TransmitFrame(NodeId dst, uint64_t seq) {
   msg.src = self_;
   msg.dst = dst;
   msg.type = kDataFrame;
-  msg.payload = pending.frame;
+  msg.payload = pending.frame;  // refcount bump, not a copy
+  if (pending.retries > 0) {
+    hotpath_stats().bytes_copied_saved +=
+        static_cast<int64_t>(pending.frame->size());
+  }
   network_->Send(std::move(msg));
 }
 
@@ -108,20 +115,21 @@ void ReliableTransport::HandleMessage(const Message& raw) {
 }
 
 void ReliableTransport::HandleDataFrame(const Message& raw) {
+  const Bytes& frame = raw.body();
   // Verify the checksum before trusting any field.
-  if (raw.payload.size() < 4) {
+  if (frame.size() < 4) {
     ++discarded_corrupt_;
     return;
   }
-  Decoder crc_dec(raw.payload.data() + raw.payload.size() - 4, 4);
+  Decoder crc_dec(frame.data() + frame.size() - 4, 4);
   uint32_t expected_crc = 0;
   BP_CHECK(crc_dec.GetU32(&expected_crc).ok());
-  if (Crc32(raw.payload.data(), raw.payload.size() - 4) != expected_crc) {
+  if (Crc32(frame.data(), frame.size() - 4) != expected_crc) {
     ++discarded_corrupt_;  // corrupted in flight; sender will retransmit
     return;
   }
 
-  Decoder dec(raw.payload.data(), raw.payload.size() - 4);
+  Decoder dec(frame.data(), frame.size() - 4);
   uint64_t seq = 0;
   MessageType app_type = 0;
   Bytes payload;
@@ -141,13 +149,18 @@ void ReliableTransport::HandleDataFrame(const Message& raw) {
   ack_msg.src = self_;
   ack_msg.dst = raw.src;
   ack_msg.type = kAckFrame;
-  ack_msg.payload = ack.Take();
+  ack_msg.set_body(ack.Take());
   network_->Send(std::move(ack_msg));
 
   PeerRecv& peer = recv_state_[raw.src];
   if (seq < peer.next_expected) return;  // duplicate
+  PayloadPtr shared = MakePayload(std::move(payload));
   if (seq > peer.next_expected) {
-    peer.pending.emplace(seq, std::make_pair(app_type, std::move(payload)));
+    // Out-of-order: buffer the decoded payload by reference. Delivery later
+    // moves the same allocation into the application message.
+    hotpath_stats().bytes_copied_saved +=
+        static_cast<int64_t>(shared->size());
+    peer.pending.emplace(seq, std::make_pair(app_type, std::move(shared)));
     return;
   }
   // In-order: deliver, then drain any buffered successors.
@@ -155,7 +168,7 @@ void ReliableTransport::HandleDataFrame(const Message& raw) {
   out.src = raw.src;
   out.dst = self_;
   out.type = app_type;
-  out.payload = std::move(payload);
+  out.payload = std::move(shared);
   peer.next_expected++;
   handler_(out);
   while (true) {
@@ -173,12 +186,13 @@ void ReliableTransport::HandleDataFrame(const Message& raw) {
 }
 
 void ReliableTransport::HandleAckFrame(const Message& raw) {
-  Decoder dec(raw.payload);
+  const Bytes& frame = raw.body();
+  Decoder dec(frame);
   uint64_t seq = 0;
   uint32_t crc = 0;
   if (!dec.GetU64(&seq).ok() || !dec.GetU32(&crc).ok()) return;
-  if (raw.payload.size() < 12 ||
-      Crc32(raw.payload.data(), 8) != crc) {
+  if (frame.size() < 12 ||
+      Crc32(frame.data(), 8) != crc) {
     ++discarded_corrupt_;
     return;
   }

@@ -51,14 +51,17 @@ class ReliableTransport : public Host {
 
  private:
   struct Pending {
-    Bytes frame;  // encoded data frame, ready for retransmission
+    /// Encoded data frame, shared with every (re)transmission in flight:
+    /// retransmitting is a refcount bump, not a buffer copy.
+    PayloadPtr frame;
     sim::EventId timer = sim::kInvalidEventId;
     int retries = 0;
   };
   struct PeerRecv {
     uint64_t next_expected = 1;
-    // Out-of-order frames buffered until the gap fills.
-    std::map<uint64_t, std::pair<MessageType, Bytes>> pending;
+    // Out-of-order frames buffered until the gap fills. The payload is
+    // shared with the decode buffer, not copied.
+    std::map<uint64_t, std::pair<MessageType, PayloadPtr>> pending;
   };
   struct PeerSend {
     uint64_t next_seq = 1;

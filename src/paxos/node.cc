@@ -33,7 +33,7 @@ void PaxosNode::SendTo(net::NodeId dst, net::MessageType type,
   msg.src = self_;
   msg.dst = dst;
   msg.type = type;
-  msg.payload = std::move(payload);
+  msg.set_body(std::move(payload));
   network_->Send(std::move(msg));
 }
 
@@ -83,13 +83,19 @@ void PaxosNode::Submit(Bytes value) {
 
 void PaxosNode::OnForward(const net::Message& msg) {
   ForwardMsg forward;
-  if (!ForwardMsg::Decode(msg.payload, &forward).ok()) return;
+  if (!ForwardMsg::Decode(msg.body(), &forward).ok()) return;
   if (is_leader_) {
     pending_.push_back(std::move(forward.value));
     ProposeNext();
   } else {
-    // Pass it along to whoever we currently believe leads.
-    SendTo(config_.nodes[leader_hint_], kForward, msg.payload);
+    // Pass it along to whoever we currently believe leads — verbatim, by
+    // reference (no re-encode, no copy).
+    net::Message fwd;
+    fwd.src = self_;
+    fwd.dst = config_.nodes[leader_hint_];
+    fwd.type = kForward;
+    fwd.payload = msg.payload;  // refcount bump
+    network_->Send(std::move(fwd));
   }
 }
 
@@ -120,7 +126,7 @@ void PaxosNode::StartLeaderElection() {
 
 void PaxosNode::OnPrepare(const net::Message& msg) {
   PrepareMsg prepare;
-  if (!PrepareMsg::Decode(msg.payload, &prepare).ok()) return;
+  if (!PrepareMsg::Decode(msg.body(), &prepare).ok()) return;
   if (prepare.ballot <= promised_) {
     NackMsg nack;
     nack.promised = promised_;
@@ -149,7 +155,7 @@ void PaxosNode::OnPrepare(const net::Message& msg) {
 
 void PaxosNode::OnPromise(const net::Message& msg) {
   PromiseMsg promise;
-  if (!PromiseMsg::Decode(msg.payload, &promise).ok()) return;
+  if (!PromiseMsg::Decode(msg.body(), &promise).ok()) return;
   if (!electing_ || promise.ballot != ballot_) return;
   int sender = config_.IndexOf(msg.src);
   if (sender < 0) return;
@@ -188,7 +194,7 @@ void PaxosNode::OnPromise(const net::Message& msg) {
 
 void PaxosNode::OnNack(const net::Message& msg) {
   NackMsg nack;
-  if (!NackMsg::Decode(msg.payload, &nack).ok()) return;
+  if (!NackMsg::Decode(msg.body(), &nack).ok()) return;
   if (nack.promised <= ballot_) return;
   // A higher ballot exists: we lost; update the round and step down.
   is_leader_ = false;
@@ -245,7 +251,7 @@ void PaxosNode::ArmAcceptRetry(uint64_t slot, Ballot ballot) {
 
 void PaxosNode::OnAccept(const net::Message& msg) {
   AcceptMsg accept;
-  if (!AcceptMsg::Decode(msg.payload, &accept).ok()) return;
+  if (!AcceptMsg::Decode(msg.body(), &accept).ok()) return;
   if (accept.ballot < promised_) {
     NackMsg nack;
     nack.promised = promised_;
@@ -267,7 +273,7 @@ void PaxosNode::OnAccept(const net::Message& msg) {
 
 void PaxosNode::OnAccepted(const net::Message& msg) {
   AcceptedMsg ack;
-  if (!AcceptedMsg::Decode(msg.payload, &ack).ok()) return;
+  if (!AcceptedMsg::Decode(msg.body(), &ack).ok()) return;
   auto it = proposals_.find(ack.slot);
   if (it == proposals_.end() || it->second.ballot != ack.ballot) return;
   int sender = config_.IndexOf(msg.src);
@@ -292,7 +298,7 @@ void PaxosNode::OnAccepted(const net::Message& msg) {
 
 void PaxosNode::OnLearn(const net::Message& msg) {
   LearnMsg learn;
-  if (!LearnMsg::Decode(msg.payload, &learn).ok()) return;
+  if (!LearnMsg::Decode(msg.body(), &learn).ok()) return;
   Decide(learn.slot, std::move(learn.value));
 }
 
@@ -339,7 +345,7 @@ void PaxosNode::SendHeartbeats() {
 
 void PaxosNode::OnHeartbeat(const net::Message& msg) {
   HeartbeatMsg hb;
-  if (!HeartbeatMsg::Decode(msg.payload, &hb).ok()) return;
+  if (!HeartbeatMsg::Decode(msg.body(), &hb).ok()) return;
   if (hb.ballot < promised_) return;
   promised_ = std::max(promised_, hb.ballot);
   int proposer = BallotProposer(hb.ballot);

@@ -1,5 +1,7 @@
 #include "pbft/client.h"
 
+#include "common/metrics.h"
+
 namespace blockplane::pbft {
 
 PbftClient::PbftClient(net::Network* network, PbftConfig config,
@@ -35,17 +37,22 @@ void PbftClient::SendRequest(uint64_t req_id, bool broadcast) {
   request.client_token = token_;
   request.req_id = req_id;
   request.value = it->second.value;
-  Bytes encoded = request.Encode();
+  // Encode once; broadcast retries share the same allocation per recipient.
+  net::PayloadPtr encoded = net::MakePayload(request.Encode());
 
   auto send_to = [&](net::NodeId dst) {
     net::Message msg;
     msg.src = self_;
     msg.dst = dst;
     msg.type = kRequest;
-    msg.payload = encoded;
+    msg.payload = encoded;  // refcount bump, not a copy
     network_->Send(std::move(msg));
   };
   if (broadcast) {
+    hotpath_stats().bytes_copied_saved +=
+        static_cast<int64_t>(config_.nodes.size() > 1
+                                 ? (config_.nodes.size() - 1) * encoded->size()
+                                 : 0);
     for (const net::NodeId& node : config_.nodes) send_to(node);
   } else {
     send_to(config_.LeaderOf(view_hint_));
@@ -70,7 +77,7 @@ void PbftClient::ArmRetry(uint64_t req_id) {
 void PbftClient::HandleMessage(const net::Message& msg) {
   if (msg.type != kReply) return;
   ReplyMsg reply;
-  if (!ReplyMsg::Decode(msg.payload, &reply).ok()) return;
+  if (!ReplyMsg::Decode(msg.body(), &reply).ok()) return;
   int sender = config_.ReplicaIndex(msg.src);
   if (sender < 0 || sender != reply.replica) return;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "crypto/sha256.h"
 
 namespace blockplane::pbft {
@@ -81,21 +82,52 @@ void PbftReplica::HandleMessage(const net::Message& msg) {
 
 // --- plumbing ---------------------------------------------------------------
 
-void PbftReplica::Broadcast(net::MessageType type, const Bytes& payload) {
+void PbftReplica::Broadcast(net::MessageType type, Bytes payload) {
+  // Encode-once fan-out: one allocation, shared by every recipient's
+  // Message. Each SendShared is a refcount bump where it used to be a full
+  // buffer copy per peer.
+  net::PayloadPtr shared = net::MakePayload(std::move(payload));
+  int recipients = 0;
   for (const net::NodeId& node : config_.nodes) {
     if (node == self_) continue;
-    SendTo(node, type, payload);
+    SendShared(node, type, shared);
+    ++recipients;
+  }
+  if (recipients > 1) {
+    hotpath_stats().bytes_copied_saved +=
+        static_cast<int64_t>(recipients - 1) *
+        static_cast<int64_t>(shared->size());
   }
 }
 
 void PbftReplica::SendTo(net::NodeId dst, net::MessageType type,
                          Bytes payload) {
+  SendShared(dst, type, net::MakePayload(std::move(payload)));
+}
+
+void PbftReplica::SendShared(net::NodeId dst, net::MessageType type,
+                             net::PayloadPtr payload) {
   net::Message msg;
   msg.src = self_;
   msg.dst = dst;
   msg.type = type;
   msg.payload = std::move(payload);
   network_->Send(std::move(msg));
+}
+
+const Bytes& PbftReplica::CanonicalBodyFor(const VoteMsg& vote) {
+  if (canonical_memo_.size() >= kCanonicalMemoMax) canonical_memo_.clear();
+  auto key = std::make_tuple(static_cast<uint8_t>(vote.type), vote.view,
+                             vote.seq);
+  auto it = canonical_memo_.find(key);
+  if (it != canonical_memo_.end() && it->second.digest == vote.digest) {
+    hotpath_stats().encodes_elided++;
+    return it->second.body;
+  }
+  // Miss (or a vote for the same slot with a different digest, e.g. a
+  // byzantine bogus-digest vote): encode and (re)install.
+  CanonicalMemoEntry entry{vote.digest, vote.CanonicalBody()};
+  return (canonical_memo_[key] = std::move(entry)).body;
 }
 
 Signature PbftReplica::Sign(const Bytes& canonical) const {
@@ -120,7 +152,7 @@ bool PbftReplica::RunVerifier(const Bytes& value) const {
 
 void PbftReplica::OnRequest(const net::Message& msg) {
   RequestMsg request;
-  if (!RequestMsg::Decode(msg.payload, &request).ok()) return;
+  if (!RequestMsg::Decode(msg.body(), &request).ok()) return;
 
   // Already executed? Re-send the cached reply (the client's first reply
   // may have been lost).
@@ -154,7 +186,10 @@ void PbftReplica::OnRequest(const net::Message& msg) {
 
   // Backup: forward to the current leader and watch for progress. If the
   // leader censors the request, the watchdog forces a view change.
-  SendTo(leader(), kRequest, msg.payload);
+  // Forward the received payload verbatim by reference — no re-encode, no
+  // copy (the leader decodes the same bytes we did).
+  hotpath_stats().bytes_copied_saved += static_cast<int64_t>(msg.body().size());
+  SendShared(leader(), kRequest, msg.payload);
   auto key = std::make_pair(request.client_token, request.req_id);
   if (watched_requests_.count(key) > 0) return;
   sim::EventId timer = sim_->Schedule(config_.view_timeout, [this, key]() {
@@ -228,7 +263,7 @@ void PbftReplica::Propose(uint64_t client_token, uint64_t req_id,
 
 void PbftReplica::OnPrePrepare(const net::Message& msg) {
   PrePrepareMsg pp;
-  if (!PrePrepareMsg::Decode(msg.payload, &pp).ok()) return;
+  if (!PrePrepareMsg::Decode(msg.body(), &pp).ok()) return;
   if (pp.view != view_ || in_view_change_) return;
   if (msg.src != config_.LeaderOf(pp.view)) return;  // only the leader may
   if (pp.seq <= last_stable_) return;
@@ -270,7 +305,7 @@ void PbftReplica::OnPrePrepare(const net::Message& msg) {
   if (byzantine_ == ByzantineMode::kBogusVotes) {
     prepare.digest[0] ^= 0xff;
   }
-  prepare.sig = Sign(prepare.CanonicalBody());
+  prepare.sig = Sign(CanonicalBodyFor(prepare));
   instance.sent_prepare = true;
   instance.prepares[index_] = {prepare.digest, prepare.sig};  // own vote
   Broadcast(kPrepare, prepare.Encode());
@@ -279,13 +314,13 @@ void PbftReplica::OnPrePrepare(const net::Message& msg) {
 
 void PbftReplica::OnPrepare(const net::Message& msg) {
   VoteMsg vote;
-  if (!VoteMsg::Decode(kPrepare, msg.payload, &vote).ok()) return;
+  if (!VoteMsg::Decode(kPrepare, msg.body(), &vote).ok()) return;
   if (vote.view != view_ || in_view_change_) return;
   if (vote.seq <= last_stable_) return;
   int sender = config_.ReplicaIndex(msg.src);
   if (sender < 0) return;
   if (msg.src == config_.LeaderOf(vote.view)) return;  // leaders don't prepare
-  if (!VerifySig(vote.CanonicalBody(), vote.sig)) return;
+  if (!VerifySig(CanonicalBodyFor(vote), vote.sig)) return;
   if (vote.sig.signer != msg.src) return;
 
   Instance& instance = instances_[vote.seq];
@@ -333,7 +368,7 @@ void PbftReplica::SendCommitVote(uint64_t seq) {
   if (byzantine_ == ByzantineMode::kBogusVotes) {
     commit.digest[1] ^= 0xff;
   }
-  commit.sig = Sign(commit.CanonicalBody());
+  commit.sig = Sign(CanonicalBodyFor(commit));
   instance.sent_commit = true;
   instance.commit_view = instance.view;
   instance.commits[index_] = {instance.digest, commit.sig};
@@ -354,12 +389,12 @@ void PbftReplica::RetryPendingVerifications() {
 
 void PbftReplica::OnCommit(const net::Message& msg) {
   VoteMsg vote;
-  if (!VoteMsg::Decode(kCommit, msg.payload, &vote).ok()) return;
+  if (!VoteMsg::Decode(kCommit, msg.body(), &vote).ok()) return;
   if (vote.view != view_ || in_view_change_) return;
   if (vote.seq <= last_stable_) return;
   int sender = config_.ReplicaIndex(msg.src);
   if (sender < 0) return;
-  if (!VerifySig(vote.CanonicalBody(), vote.sig)) return;
+  if (!VerifySig(CanonicalBodyFor(vote), vote.sig)) return;
   if (vote.sig.signer != msg.src) return;
 
   Instance& instance = instances_[vote.seq];
@@ -461,7 +496,7 @@ void PbftReplica::CatchUp() {
 
 void PbftReplica::OnFetchCommitted(const net::Message& msg) {
   FetchCommittedMsg fetch;
-  if (!FetchCommittedMsg::Decode(msg.payload, &fetch).ok()) return;
+  if (!FetchCommittedMsg::Decode(msg.body(), &fetch).ok()) return;
   if (config_.ReplicaIndex(msg.src) < 0) return;
   // Answer with a bounded range of committed entries we still hold.
   constexpr uint64_t kMaxEntries = 32;
@@ -489,7 +524,7 @@ void PbftReplica::OnFetchCommitted(const net::Message& msg) {
 
 void PbftReplica::OnCommittedEntry(const net::Message& msg) {
   CommittedEntryMsg entry;
-  if (!CommittedEntryMsg::Decode(msg.payload, &entry).ok()) return;
+  if (!CommittedEntryMsg::Decode(msg.body(), &entry).ok()) return;
   if (config_.ReplicaIndex(msg.src) < 0) return;
   if (entry.seq <= last_executed_ || entry.seq <= last_stable_) return;
   auto existing = instances_.find(entry.seq);
@@ -540,7 +575,7 @@ void PbftReplica::OnFetchSnapshot(const net::Message& msg) {
 void PbftReplica::OnSnapshot(const net::Message& msg) {
   if (config_.ReplicaIndex(msg.src) < 0) return;
   SnapshotMsg snapshot;
-  if (!SnapshotMsg::Decode(msg.payload, &snapshot).ok()) return;
+  if (!SnapshotMsg::Decode(msg.body(), &snapshot).ok()) return;
   if (snapshot.seq <= last_executed_) return;
   if (config_.sign_messages) {
     // The certificate must hold 2f+1 distinct valid checkpoint votes.
@@ -595,7 +630,7 @@ void PbftReplica::TakeCheckpoint(uint64_t seq) {
 
 void PbftReplica::OnCheckpoint(const net::Message& msg) {
   CheckpointMsg cp;
-  if (!CheckpointMsg::Decode(msg.payload, &cp).ok()) return;
+  if (!CheckpointMsg::Decode(msg.body(), &cp).ok()) return;
   int sender = config_.ReplicaIndex(msg.src);
   if (sender < 0) return;
   if (!VerifySig(cp.CanonicalBody(), cp.sig) || cp.sig.signer != msg.src) {
@@ -691,7 +726,7 @@ void PbftReplica::StartViewChange(uint64_t new_view) {
 
 void PbftReplica::OnViewChange(const net::Message& msg) {
   ViewChangeMsg vc;
-  if (!ViewChangeMsg::Decode(msg.payload, &vc).ok()) return;
+  if (!ViewChangeMsg::Decode(msg.body(), &vc).ok()) return;
   int sender = config_.ReplicaIndex(msg.src);
   if (sender < 0) return;
   if (!VerifySig(vc.CanonicalBody(), vc.sig) || vc.sig.signer != msg.src) {
@@ -768,7 +803,7 @@ bool PbftReplica::ValidatePreparedProof(const PreparedProof& proof) const {
 
 void PbftReplica::OnNewView(const net::Message& msg) {
   NewViewMsg nv;
-  if (!NewViewMsg::Decode(msg.payload, &nv).ok()) return;
+  if (!NewViewMsg::Decode(msg.body(), &nv).ok()) return;
   if (nv.view <= view_) return;
   if (msg.src != config_.LeaderOf(nv.view)) return;
   if (!VerifySig(nv.CanonicalBody(), nv.sig) || nv.sig.signer != msg.src) {

@@ -22,6 +22,7 @@
 #include <functional>
 #include <map>
 #include <set>
+#include <tuple>
 #include <unordered_map>
 
 #include "crypto/signer.h"
@@ -173,8 +174,19 @@ class PbftReplica : public net::Host {
   void MaybeSendNewView(uint64_t v);
 
   // -- plumbing --
-  void Broadcast(net::MessageType type, const Bytes& payload);
+  /// Encodes the payload once and fans it out by refcount bump: every
+  /// recipient's Message shares one allocation (encode-once broadcast).
+  void Broadcast(net::MessageType type, Bytes payload);
   void SendTo(net::NodeId dst, net::MessageType type, Bytes payload);
+  /// Sends an already-shared payload without copying (broadcast fan-out,
+  /// verbatim request forwarding).
+  void SendShared(net::NodeId dst, net::MessageType type,
+                  net::PayloadPtr payload);
+  /// Canonical body for `vote`, memoized per (type, view, seq): the 2f+1
+  /// votes of one instance share a single encode instead of re-encoding
+  /// identical bytes per vote. Entries whose digest differs (byzantine
+  /// bogus-digest votes) bypass the memo.
+  const Bytes& CanonicalBodyFor(const VoteMsg& vote);
   Signature Sign(const Bytes& canonical) const;
   bool VerifySig(const Bytes& canonical, const Signature& sig) const;
   Digest DigestOf(const Bytes& value) const {
@@ -235,6 +247,18 @@ class PbftReplica : public net::Host {
   /// After a view change: the digest each carried-over seq must have in the
   /// current view. Pre-prepares for these seqs are accepted only on match.
   std::map<uint64_t, Digest> expected_digests_;
+
+  /// Memo for CanonicalBodyFor: (vote type, view, seq) -> (digest, encoded
+  /// canonical body). Bounded: cleared wholesale past kCanonicalMemoMax
+  /// entries (deterministic, and instances churn fast enough that a full
+  /// reset is cheap).
+  struct CanonicalMemoEntry {
+    Digest digest{};
+    Bytes body;
+  };
+  static constexpr size_t kCanonicalMemoMax = 4096;
+  std::map<std::tuple<uint8_t, uint64_t, uint64_t>, CanonicalMemoEntry>
+      canonical_memo_;
 };
 
 }  // namespace blockplane::pbft

@@ -1,6 +1,7 @@
 #include "protocols/hier_pbft.h"
 
 #include "common/codec.h"
+#include "common/metrics.h"
 #include "pbft/config.h"
 
 namespace blockplane::protocols {
@@ -64,15 +65,20 @@ void HierPbft::Replicate(net::SiteId leader_site, Bytes value,
 
   // 1. Local PBFT commit at the leader site, then 2. push to every site.
   Bytes encoded = EncodeRound(round, value);
+  // Encode-once push fan-out: all sites' kPush messages share one payload
+  // allocation (each send is a refcount bump).
+  net::PayloadPtr shared = net::MakePayload(Bytes(encoded));
   leader->client->Submit(
-      Bytes(encoded), [this, leader, encoded](uint64_t) {
+      Bytes(encoded), [this, leader, shared](uint64_t) {
         for (auto& [site, coordinator] : coordinators_) {
           if (site == leader->site) continue;
           net::Message msg;
           msg.src = leader->self;
           msg.dst = coordinator->self;
           msg.type = kPush;
-          msg.payload = encoded;
+          msg.payload = shared;
+          hotpath_stats().bytes_copied_saved +=
+              static_cast<int64_t>(shared->size());
           network_->Send(std::move(msg));
         }
       });
@@ -83,10 +89,10 @@ void HierPbft::Coordinator::HandleMessage(const net::Message& msg) {
     case kPush: {
       uint64_t round = 0;
       Bytes value;
-      if (!DecodeRound(msg.payload, &round, &value)) return;
+      if (!DecodeRound(msg.body(), &round, &value)) return;
       // 3. Commit the received value into the local SMR log, then ack.
       net::NodeId reply_to = msg.src;
-      client->Submit(Bytes(msg.payload),
+      client->Submit(Bytes(msg.body()),
                      [this, round, reply_to](uint64_t) {
                        ++decided;
                        Encoder enc;
@@ -95,13 +101,13 @@ void HierPbft::Coordinator::HandleMessage(const net::Message& msg) {
                        ack.src = self;
                        ack.dst = reply_to;
                        ack.type = kAck;
-                       ack.payload = enc.Take();
+                       ack.set_body(enc.Take());
                        owner->network_->Send(std::move(ack));
                      });
       break;
     }
     case kAck: {
-      Decoder dec(msg.payload);
+      Decoder dec(msg.body());
       uint64_t acked_round = 0;
       if (!dec.GetU64(&acked_round).ok() || acked_round != round) return;
       if (!done) return;

@@ -4,7 +4,19 @@
 
 namespace blockplane::sim {
 
-Simulator::Simulator(uint64_t seed) : rng_(seed) {}
+namespace {
+/// Pre-sized backing storage: a busy deployment schedules thousands of
+/// events before the queue's vector would otherwise finish doubling.
+constexpr size_t kInitialQueueCapacity = 4096;
+}  // namespace
+
+Simulator::Simulator(uint64_t seed) : rng_(seed) {
+  std::vector<Event> storage;
+  storage.reserve(kInitialQueueCapacity);
+  queue_ = std::priority_queue<Event, std::vector<Event>, EventLater>(
+      EventLater{}, std::move(storage));
+  pending_ids_.reserve(kInitialQueueCapacity);
+}
 
 EventId Simulator::Schedule(SimTime delay, std::function<void()> fn) {
   if (delay < 0) delay = 0;
@@ -15,12 +27,17 @@ EventId Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
   BP_CHECK(when >= now_);
   EventId id = next_id_++;
   queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  pending_ids_.insert(id);
   return id;
 }
 
 void Simulator::Cancel(EventId id) {
+  // Only ids that are actually live enter `cancelled_`. Cancelling an
+  // already-fired, already-cancelled, or invalid id is a strict no-op —
+  // previously such ids were inserted unconditionally and, with no queue
+  // entry left to pop them out, leaked for the simulator's lifetime.
   if (id == kInvalidEventId) return;
-  cancelled_.insert(id);
+  if (pending_ids_.erase(id) > 0) cancelled_.insert(id);
 }
 
 bool Simulator::Step() {
@@ -32,6 +49,7 @@ bool Simulator::Step() {
       cancelled_.erase(it);
       continue;
     }
+    pending_ids_.erase(ev.id);
     BP_CHECK(ev.when >= now_);
     now_ = ev.when;
     ++processed_;

@@ -58,7 +58,9 @@ class Simulator {
   Rng& rng() { return rng_; }
 
   uint64_t processed_events() const { return processed_; }
-  size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  /// Events scheduled, not yet fired, and not cancelled. Exact: cancelled
+  /// ids leave the pending set immediately, fired ids leave it as they pop.
+  size_t pending_events() const { return pending_ids_.size(); }
 
  private:
   struct Event {
@@ -82,6 +84,12 @@ class Simulator {
   EventId next_id_ = 1;
   uint64_t processed_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  /// Ids of live (scheduled, unfired, uncancelled) events. Guards Cancel():
+  /// cancelling a fired/unknown id is a strict no-op, so `cancelled_` can
+  /// never accumulate ids that will never be popped.
+  std::unordered_set<EventId> pending_ids_;
+  /// Ids cancelled while still queued; entries are erased when their queue
+  /// slot pops, so this set is always a subset of the queue contents.
   std::unordered_set<EventId> cancelled_;
   Rng rng_;
 };

@@ -211,7 +211,7 @@ TEST(BlockplaneCoreTest, ForgedTransmissionIsRejected) {
   msg.src = {kCalifornia, 3};
   msg.dst = {kOregon, 0};
   msg.type = kTransmission;
-  msg.payload = forged.Encode();
+  msg.set_body(forged.Encode());
   harness.deployment_.network()->Send(msg);
 
   harness.simulator_.RunFor(Seconds(5));
@@ -245,7 +245,7 @@ TEST(BlockplaneCoreTest, DuplicateTransmissionCommitsOnce) {
   msg.src = {kCalifornia, 0};
   msg.dst = {kOregon, 0};
   msg.type = kTransmission;
-  msg.payload = replay.Encode();
+  msg.set_body(replay.Encode());
   harness.deployment_.network()->Send(msg);
   harness.simulator_.RunFor(Seconds(2));
 

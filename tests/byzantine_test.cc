@@ -3,6 +3,7 @@
 // soak over the counter protocol.
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
 #include "core/deployment.h"
 #include "protocols/bank.h"
 #include "protocols/counter.h"
@@ -145,7 +146,7 @@ TEST(ByzantineEndToEndTest, OutOfOrderTransmissionIsRejected) {
   msg.src = {kCalifornia, 0};
   msg.dst = {kOregon, 0};
   msg.type = kTransmission;
-  msg.payload = skipping.Encode();
+  msg.set_body(skipping.Encode());
   deployment.network()->Send(msg);
 
   simulator.RunFor(Seconds(5));
@@ -179,7 +180,7 @@ TEST(ByzantineEndToEndTest, ForgedGeoAcksCannotFakeGlobalCommit) {
       msg.src = forged.sig.signer;
       msg.dst = ParticipantNodeId(kCalifornia);
       msg.type = kGeoAck;
-      msg.payload = forged.Encode();
+      msg.set_body(forged.Encode());
       // Bypass the site crash by sending from a live node id.
       msg.src = net::NodeId{kIreland, 0};
       deployment.network()->Send(msg);
@@ -224,7 +225,7 @@ TEST(ByzantineEndToEndTest, ReplayedWireCannotDoubleCredit) {
     msg.src = {kCalifornia, 3};
     msg.dst = {kIreland, i};
     msg.type = kTransmission;
-    msg.payload = replay.Encode();
+    msg.set_body(replay.Encode());
     deployment.network()->Send(msg);
   }
   simulator.RunFor(Seconds(5));
@@ -232,6 +233,59 @@ TEST(ByzantineEndToEndTest, ReplayedWireCannotDoubleCredit) {
   for (int i = 0; i < 4; ++i) {
     EXPECT_EQ(bank.NodeBalance(kIreland, i, "seamus"), 60);
   }
+}
+
+TEST(ByzantineEndToEndTest, ForgedTransmissionRejectedAfterCachesArePrimed) {
+  // The verify-once cache memoizes *successful* (signer, mac, message)
+  // triples only. After genuine traffic has filled it hot, a forged
+  // transmission that reuses genuine signatures over DIFFERENT content
+  // must still take — and fail — the full HMAC check: no cache entry can
+  // vouch for bytes it never verified.
+  sim::Simulator simulator(43);
+  Deployment deployment(&simulator, Topology::Aws4(), {});
+  protocols::BankLedger bank(&deployment);
+
+  hotpath_stats().Reset();
+  bool funded = false;
+  bank.Deposit(kCalifornia, "alice", 100, [&](Status) { funded = true; });
+  ASSERT_TRUE(
+      simulator.RunUntilCondition([&] { return funded; }, Seconds(30)));
+  bank.Wire(kCalifornia, "alice", kIreland, "seamus", 40, nullptr);
+  ASSERT_TRUE(simulator.RunUntilCondition(
+      [&] { return bank.Balance(kIreland, "seamus") == 40; }, Seconds(120)));
+  // The deployment's verify-once cache is demonstrably hot.
+  ASSERT_GT(hotpath_stats().sig_cache_hits, 0);
+
+  // Forge the "next" transmission in the chain: correct chain pointers,
+  // genuine (cached-as-valid) signatures — but content they never signed.
+  const auto& log = deployment.node(kIreland, 0)->log();
+  const LogRecord* wire = nullptr;
+  for (const auto& [pos, record] : log) {
+    if (record.type == RecordType::kReceived) wire = &record;
+  }
+  ASSERT_NE(wire, nullptr);
+  TransmissionRecord forged;
+  forged.src_site = kCalifornia;
+  forged.dest_site = kIreland;
+  forged.src_log_pos = wire->src_log_pos + 1;
+  forged.prev_src_log_pos = wire->src_log_pos;
+  forged.routine_id = wire->routine_id;
+  forged.payload = ToBytes("forged credit of 1000 coins");
+  forged.sigs = wire->proof;  // genuine signatures over other bytes
+  for (int i = 0; i < 4; ++i) {
+    net::Message msg;
+    msg.src = {kCalifornia, 3};
+    msg.dst = {kIreland, i};
+    msg.type = kTransmission;
+    msg.set_body(forged.Encode());
+    deployment.network()->Send(msg);
+  }
+  simulator.RunFor(Seconds(5));
+  EXPECT_EQ(bank.Balance(kIreland, "seamus"), 40);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(bank.NodeBalance(kIreland, i, "seamus"), 40);
+  }
+  hotpath_stats().Reset();
 }
 
 TEST(ByzantineEndToEndTest, QuorumReadSurvivesALyingReplica) {

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include "common/codec.h"
+#include "common/metrics.h"
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
 #include "crypto/signer.h"
+#include "sim/random.h"
 
 namespace blockplane::crypto {
 namespace {
@@ -179,6 +181,157 @@ TEST(ProofCodecTest, OversizedProofRejected) {
   Decoder dec(enc.buffer());
   std::vector<Signature> decoded;
   EXPECT_TRUE(DecodeProof(&dec, &decoded).IsCorruption());
+}
+
+// --- PrecomputedHmacKey equivalence (property test) --------------------------
+
+Bytes RandomBytes(sim::Rng* rng, size_t len) {
+  Bytes out(len);
+  for (auto& b : out) b = static_cast<uint8_t>(rng->NextBelow(256));
+  return out;
+}
+
+TEST(PrecomputedHmacKeyTest, MatchesReferenceForRandomKeysAndLengths) {
+  // The midstate path must be bit-identical to the stateless reference for
+  // every key length — shorter than, equal to, and longer than the 64-byte
+  // block (long keys are pre-hashed per RFC 2104) — and every message
+  // length across the SHA-256 padding boundaries.
+  sim::Rng rng(20260806);
+  const size_t key_lens[] = {0, 1, 16, 31, 32, 63, 64, 65, 100, 128, 257};
+  for (size_t key_len : key_lens) {
+    Bytes key = RandomBytes(&rng, key_len);
+    PrecomputedHmacKey fast(key);
+    const size_t msg_lens[] = {0,  1,  47,  48,  55,  56,  63,
+                               64, 65, 119, 120, 127, 128, 1000};
+    for (size_t msg_len : msg_lens) {
+      Bytes msg = RandomBytes(&rng, msg_len);
+      EXPECT_EQ(fast.Sign(msg), HmacSha256(key, msg))
+          << "key_len=" << key_len << " msg_len=" << msg_len;
+    }
+  }
+}
+
+TEST(PrecomputedHmacKeyTest, RandomizedFuzzAgainstReference) {
+  sim::Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    Bytes key = RandomBytes(&rng, rng.NextBelow(200));
+    Bytes msg = RandomBytes(&rng, rng.NextBelow(500));
+    PrecomputedHmacKey fast(key);
+    ASSERT_EQ(fast.Sign(msg), HmacSha256(key, msg)) << "iteration " << i;
+  }
+}
+
+TEST(PrecomputedHmacKeyTest, KeyIsReusableAcrossManySigns) {
+  // Sign must not corrupt the cached midstates: the Nth signature equals
+  // the 1st for identical input, and interleaved inputs don't cross-talk.
+  sim::Rng rng(7);
+  Bytes key = RandomBytes(&rng, 32);
+  PrecomputedHmacKey fast(key);
+  Bytes a = ToBytes("alpha");
+  Bytes b = ToBytes("beta");
+  Digest first_a = fast.Sign(a);
+  Digest first_b = fast.Sign(b);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(fast.Sign(a), first_a);
+    EXPECT_EQ(fast.Sign(b), first_b);
+  }
+  EXPECT_NE(first_a, first_b);
+}
+
+TEST(PrecomputedHmacKeyTest, VerifyAcceptsGenuineRejectsTampered) {
+  sim::Rng rng(13);
+  Bytes key = RandomBytes(&rng, 64);
+  PrecomputedHmacKey fast(key);
+  Bytes msg = ToBytes("payload under test");
+  Digest mac = fast.Sign(msg);
+  EXPECT_TRUE(fast.Verify(msg, mac));
+  Digest bad_mac = mac;
+  bad_mac[0] ^= 0x01;
+  EXPECT_FALSE(fast.Verify(msg, bad_mac));
+  Bytes bad_msg = msg;
+  bad_msg.back() ^= 0x01;
+  EXPECT_FALSE(fast.Verify(bad_msg, mac));
+}
+
+// --- KeyStore verify-once cache ---------------------------------------------
+
+TEST(VerifyCacheTest, RepeatedVerifyHitsCache) {
+  KeyStore keys;
+  auto signer = keys.RegisterNode({0, 0});
+  Bytes msg = ToBytes("quorum certificate bytes");
+  Signature sig = signer->Sign(msg);
+
+  hotpath_stats().Reset();
+  EXPECT_TRUE(keys.Verify(msg, sig));  // miss: full HMAC, then cached
+  EXPECT_EQ(hotpath_stats().sig_cache_hits, 0);
+  EXPECT_EQ(hotpath_stats().sig_cache_misses, 1);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(keys.Verify(msg, sig));
+  EXPECT_EQ(hotpath_stats().sig_cache_hits, 10);
+  EXPECT_EQ(hotpath_stats().sig_cache_misses, 1);
+  hotpath_stats().Reset();
+}
+
+TEST(VerifyCacheTest, ForgedSignaturesNeverHitTheCache) {
+  // A cached success for (signer, mac, msg) must not leak acceptance to any
+  // forgery: flipped mac, flipped msg, or a different claimed signer all
+  // take (and fail) the full check, every time.
+  KeyStore keys;
+  auto signer = keys.RegisterNode({0, 0});
+  keys.RegisterNode({0, 1});
+  Bytes msg = ToBytes("transfer 100 coins");
+  Signature sig = signer->Sign(msg);
+  ASSERT_TRUE(keys.Verify(msg, sig));  // prime the cache
+
+  Signature forged_mac = sig;
+  forged_mac.mac[5] ^= 0xff;
+  Bytes forged_msg = msg;
+  forged_msg[0] ^= 0xff;
+  Signature stolen = sig;  // genuine mac, wrong claimed signer
+  stolen.signer = {0, 1};
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(keys.Verify(msg, forged_mac));
+    EXPECT_FALSE(keys.Verify(forged_msg, sig));
+    EXPECT_FALSE(keys.Verify(msg, stolen));
+  }
+  // The genuine triple still verifies after the forgery attempts.
+  EXPECT_TRUE(keys.Verify(msg, sig));
+}
+
+TEST(VerifyCacheTest, DisabledCacheStillVerifiesCorrectly) {
+  KeyStore keys;
+  keys.set_verify_cache_capacity(0);
+  auto signer = keys.RegisterNode({1, 2});
+  Bytes msg = ToBytes("no cache");
+  Signature sig = signer->Sign(msg);
+  hotpath_stats().Reset();
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(keys.Verify(msg, sig));
+  EXPECT_EQ(hotpath_stats().sig_cache_hits, 0);
+  Signature bad = sig;
+  bad.mac[0] ^= 1;
+  EXPECT_FALSE(keys.Verify(msg, bad));
+  hotpath_stats().Reset();
+}
+
+TEST(VerifyCacheTest, CapacityIsBoundedUnderChurn) {
+  // Flood far past capacity: correctness holds (evicted entries simply
+  // re-verify) and the generations flip instead of growing unboundedly.
+  KeyStore keys;
+  keys.set_verify_cache_capacity(64);
+  auto signer = keys.RegisterNode({2, 0});
+  hotpath_stats().Reset();
+  std::vector<std::pair<Bytes, Signature>> signed_msgs;
+  for (int i = 0; i < 500; ++i) {
+    Bytes msg = ToBytes("msg-" + std::to_string(i));
+    Signature sig = signer->Sign(msg);
+    signed_msgs.emplace_back(msg, sig);
+    ASSERT_TRUE(keys.Verify(msg, sig));
+  }
+  EXPECT_GT(hotpath_stats().verify_cache_evictions, 0);
+  // Every message still verifies — via cache or full HMAC alike.
+  for (const auto& [msg, sig] : signed_msgs) {
+    ASSERT_TRUE(keys.Verify(msg, sig));
+  }
+  hotpath_stats().Reset();
 }
 
 }  // namespace

@@ -131,7 +131,7 @@ TEST_F(NetworkTest, WanLatencyIsOneWayRtt) {
   msg.src = {kCalifornia, 0};
   msg.dst = {kOregon, 0};
   msg.type = 7;
-  msg.payload = ToBytes("x");
+  msg.set_body(ToBytes("x"));
   network_->Send(msg);
   simulator_.Run();
   ASSERT_EQ(hosts_[0].messages.size(), 1u);
@@ -159,7 +159,7 @@ TEST_F(NetworkTest, NicSerializationIsFifoPerSender) {
   Message a;
   a.src = {kCalifornia, 0};
   a.dst = {kCalifornia, 1};
-  a.payload.resize(640000);
+  a.set_body(Bytes(640000, 0));
   Message b = a;
   b.dst = {kCalifornia, 2};
   network_->Send(a);
@@ -268,11 +268,11 @@ TEST_F(NetworkTest, CountersDistinguishLanAndWan) {
   Message lan;
   lan.src = {kCalifornia, 0};
   lan.dst = {kCalifornia, 1};
-  lan.payload.resize(100);
+  lan.set_body(Bytes(100, 0));
   Message wan;
   wan.src = {kCalifornia, 0};
   wan.dst = {kOregon, 0};
-  wan.payload.resize(200);
+  wan.set_body(Bytes(200, 0));
   network_->Send(lan);
   network_->Send(wan);
   simulator_.Run();
@@ -302,11 +302,11 @@ TEST_F(NetworkTest, CorruptionFlipsPayloadByte) {
   Message m;
   m.src = {kCalifornia, 0};
   m.dst = {kOregon, 0};
-  m.payload = ToBytes("hello");
+  m.set_body(ToBytes("hello"));
   network_->Send(m);
   simulator_.Run();
   ASSERT_EQ(hosts_[0].messages.size(), 1u);
-  EXPECT_NE(hosts_[0].messages[0].payload, ToBytes("hello"));
+  EXPECT_NE(hosts_[0].messages[0].body(), ToBytes("hello"));
 }
 
 TEST_F(NetworkTest, UnregisteredDestinationCountsAsDrop) {

@@ -120,7 +120,7 @@ TEST(RecoveryTest, ForgedSnapshotCertificateIsRejected) {
   msg.src = {0, 1};
   msg.dst = down;
   msg.type = pbft::kSnapshot;
-  msg.payload = forged.Encode();
+  msg.set_body(forged.Encode());
   harness.deployment_->network()->Send(msg);
 
   harness.deployment_->node(0, 3)->Recover();

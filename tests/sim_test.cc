@@ -120,6 +120,71 @@ TEST(SimulatorTest, ProcessedEventCount) {
   EXPECT_EQ(simulator.processed_events(), 7u);
 }
 
+TEST(SimulatorTest, PendingEventsTracksScheduleFireCancel) {
+  Simulator simulator;
+  EXPECT_EQ(simulator.pending_events(), 0u);
+  EventId a = simulator.Schedule(Milliseconds(1), [] {});
+  simulator.Schedule(Milliseconds(2), [] {});
+  EXPECT_EQ(simulator.pending_events(), 2u);
+  simulator.Cancel(a);
+  EXPECT_EQ(simulator.pending_events(), 1u);
+  simulator.Run();
+  EXPECT_EQ(simulator.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, CancelChurnDoesNotLeakOrSkewPendingCount) {
+  // Regression: Cancel() used to insert ids into the tombstone set
+  // unconditionally. Cancelling ids that had already fired left tombstones
+  // that nothing would ever pop, growing memory without bound and making
+  // pending_events() (then queue size minus tombstones) wildly wrong —
+  // even underflowing below zero.
+  Simulator simulator;
+  std::vector<EventId> fired_ids;
+  constexpr int kRounds = 1000;
+  for (int i = 0; i < kRounds; ++i) {
+    fired_ids.push_back(simulator.Schedule(Milliseconds(i + 1), [] {}));
+  }
+  simulator.Run();
+  ASSERT_EQ(simulator.pending_events(), 0u);
+
+  // Heavy churn: cancel every fired id (twice), plus ids never issued.
+  for (EventId id : fired_ids) {
+    simulator.Cancel(id);
+    simulator.Cancel(id);
+  }
+  for (EventId id = 1'000'000; id < 1'001'000; ++id) simulator.Cancel(id);
+  EXPECT_EQ(simulator.pending_events(), 0u);
+
+  // New events still schedule, cancel, and fire with an exact count: no
+  // stale tombstone swallows a live event or skews the arithmetic.
+  int fired = 0;
+  std::vector<EventId> keep, drop;
+  for (int i = 0; i < 100; ++i) {
+    keep.push_back(simulator.Schedule(Milliseconds(i + 1), [&] { ++fired; }));
+    drop.push_back(simulator.Schedule(Milliseconds(i + 1), [&] { ++fired; }));
+  }
+  EXPECT_EQ(simulator.pending_events(), 200u);
+  for (EventId id : drop) simulator.Cancel(id);
+  EXPECT_EQ(simulator.pending_events(), 100u);
+  simulator.Run();
+  EXPECT_EQ(fired, 100);
+  EXPECT_EQ(simulator.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, CancelInsideCallbackOfSameTimestamp) {
+  // An event may cancel a later event that shares its timestamp; the
+  // cancelled event must not run and the pending count must stay exact.
+  Simulator simulator;
+  bool second_ran = false;
+  EventId second = kInvalidEventId;
+  simulator.Schedule(Milliseconds(1),
+                     [&] { simulator.Cancel(second); });
+  second = simulator.Schedule(Milliseconds(1), [&] { second_ran = true; });
+  simulator.Run();
+  EXPECT_FALSE(second_ran);
+  EXPECT_EQ(simulator.pending_events(), 0u);
+}
+
 TEST(RngTest, DeterministicForSeed) {
   Rng a(123);
   Rng b(123);

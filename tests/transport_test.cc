@@ -46,7 +46,7 @@ TEST_F(TransportTest, DeliversOverCleanNetwork) {
   simulator_.Run();
   ASSERT_EQ(b_->received.size(), 1u);
   EXPECT_EQ(b_->received[0].type, 5u);
-  EXPECT_EQ(ToString(b_->received[0].payload), "hello");
+  EXPECT_EQ(ToString(b_->received[0].body()), "hello");
   EXPECT_EQ(b_->received[0].src, (NodeId{0, 0}));
   EXPECT_EQ(a_->transport->retransmissions(), 0);
 }
@@ -59,7 +59,7 @@ TEST_F(TransportTest, MasksDrops) {
   simulator_.Run();
   ASSERT_EQ(b_->received.size(), 50u);
   for (int i = 0; i < 50; ++i) {
-    EXPECT_EQ(ToString(b_->received[i].payload), "m" + std::to_string(i));
+    EXPECT_EQ(ToString(b_->received[i].body()), "m" + std::to_string(i));
   }
   EXPECT_GT(a_->transport->retransmissions(), 0);
 }
@@ -72,7 +72,7 @@ TEST_F(TransportTest, MasksCorruption) {
   simulator_.Run();
   ASSERT_EQ(b_->received.size(), 30u);
   for (int i = 0; i < 30; ++i) {
-    EXPECT_EQ(ToString(b_->received[i].payload),
+    EXPECT_EQ(ToString(b_->received[i].body()),
               "payload-" + std::to_string(i));
   }
   EXPECT_GT(b_->transport->discarded_corrupt() +
@@ -122,7 +122,7 @@ TEST_F(TransportTest, StressManyMessagesLossyBothWays) {
   ASSERT_EQ(b_->received.size(), static_cast<size_t>(kCount));
   // In-order delivery: payloads are exactly 0..kCount-1.
   for (int i = 0; i < kCount; ++i) {
-    EXPECT_EQ(ToString(b_->received[i].payload), std::to_string(i));
+    EXPECT_EQ(ToString(b_->received[i].body()), std::to_string(i));
   }
 }
 
