@@ -3,14 +3,21 @@
 #
 #   1. Release-ish build + full ctest suite (the tier-1 contract from
 #      ROADMAP.md: every test passing, determinism bit-for-bit).
-#   2. The same suite under ASan+UBSan in a separate Debug build tree
+#   2. Metrics snapshot: bench_metrics_dump drives one geo commit + one
+#      cross-site send through the full pipeline and archives every
+#      registered counter group as build/METRICS_dump.json (validated as
+#      JSON when python3 is available).
+#   3. Static analysis: clang-tidy (bugprone-*, performance-*) over
+#      src/ using the compile database — skipped with a notice when
+#      clang-tidy is not installed.
+#   4. The same suite under ASan+UBSan in a separate Debug build tree
 #      (build-asan/). The zero-copy payload paths share one allocation
 #      across broadcast fan-out, retransmission buffers, and reorder
 #      buffers — exactly the kind of lifetime bug a sanitizer catches and
 #      a passing test hides.
 #
 # Usage: scripts/check.sh [--fast]
-#   --fast  skip the sanitizer pass (pass 1 only).
+#   --fast  skip the clang-tidy and sanitizer passes (passes 1–2 only).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,16 +27,37 @@ FAST=0
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 echo "=== pass 1: tier-1 build + tests ==="
-cmake -B build -S . >/dev/null
+cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure
 
+echo "=== pass 2: metrics registry snapshot ==="
+build/bench/bench_metrics_dump --out=build/METRICS_dump.json >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json,sys; json.load(open('build/METRICS_dump.json'))" \
+    || { echo "METRICS_dump.json is not valid JSON"; exit 1; }
+fi
+echo "metrics snapshot OK (build/METRICS_dump.json)"
+
 if [[ "$FAST" == "1" ]]; then
-  echo "=== --fast: skipping sanitizer pass ==="
+  echo "=== --fast: skipping clang-tidy and sanitizer passes ==="
   exit 0
 fi
 
-echo "=== pass 2: ASan+UBSan build + tests ==="
+echo "=== pass 3: clang-tidy (bugprone-*, performance-*) ==="
+if command -v clang-tidy >/dev/null 2>&1; then
+  mapfile -t TIDY_SOURCES < <(find src -name '*.cc' | sort)
+  clang-tidy -p build \
+    --quiet \
+    --warnings-as-errors='bugprone-*,performance-*' \
+    --checks='-*,bugprone-*,performance-*,-bugprone-easily-swappable-parameters,-bugprone-exception-escape' \
+    "${TIDY_SOURCES[@]}"
+  echo "clang-tidy clean"
+else
+  echo "clang-tidy not installed; skipping static analysis pass"
+fi
+
+echo "=== pass 4: ASan+UBSan build + tests ==="
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \

@@ -38,6 +38,11 @@ class Encoder {
   /// Raw bytes with no length prefix (caller knows the length).
   void PutRaw(const uint8_t* data, size_t len);
 
+  /// Pre-sizes the buffer for `total` bytes of upcoming Puts. Encoders on
+  /// hot paths (e.g. the transport's frame encoder) reserve the exact frame
+  /// size up front so the byte-at-a-time appends never reallocate.
+  void Reserve(size_t total) { buf_.reserve(buf_.size() + total); }
+
   const Bytes& buffer() const { return buf_; }
   Bytes Take() { return std::move(buf_); }
   size_t size() const { return buf_.size(); }

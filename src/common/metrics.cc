@@ -13,6 +13,102 @@ HotPathStats& hotpath_stats() {
   return stats;
 }
 
+TransportStats& transport_stats() {
+  static TransportStats stats;
+  return stats;
+}
+
+// --- MetricsRegistry ---------------------------------------------------------
+
+MetricsRegistry::MetricsRegistry() {
+  // Built-in groups: the process-wide counter blocks.
+  Register(
+      "hotpath",
+      []() {
+        const HotPathStats& s = hotpath_stats();
+        return std::map<std::string, int64_t>{
+            {"sig_cache_hits", s.sig_cache_hits},
+            {"sig_cache_misses", s.sig_cache_misses},
+            {"encodes_elided", s.encodes_elided},
+            {"bytes_copied_saved", s.bytes_copied_saved},
+            {"hmac_precomputed_ops", s.hmac_precomputed_ops},
+            {"verify_cache_evictions", s.verify_cache_evictions},
+        };
+      },
+      []() { hotpath_stats().Reset(); });
+  Register(
+      "transport",
+      []() {
+        const TransportStats& s = transport_stats();
+        return std::map<std::string, int64_t>{
+            {"frames_sent", s.frames_sent},
+            {"retransmissions", s.retransmissions},
+            {"discarded_corrupt", s.discarded_corrupt},
+            {"frames_abandoned", s.frames_abandoned},
+            {"bytes_copied_saved", s.bytes_copied_saved},
+        };
+      },
+      []() { transport_stats().Reset(); });
+}
+
+int64_t MetricsRegistry::Register(std::string name, SnapshotFn snapshot,
+                                  ResetFn reset) {
+  int64_t handle = next_handle_++;
+  entries_[handle] = Entry{std::move(name), std::move(snapshot),
+                           std::move(reset)};
+  return handle;
+}
+
+void MetricsRegistry::Unregister(int64_t handle) { entries_.erase(handle); }
+
+std::map<std::string, std::map<std::string, int64_t>>
+MetricsRegistry::Snapshot() const {
+  std::map<std::string, std::map<std::string, int64_t>> out;
+  // First pass: find duplicated group names so they can be suffixed.
+  std::map<std::string, int> name_counts;
+  for (const auto& [handle, entry] : entries_) ++name_counts[entry.name];
+  for (const auto& [handle, entry] : entries_) {
+    std::string key = entry.name;
+    if (name_counts[entry.name] > 1) {
+      key += "#" + std::to_string(handle);
+    }
+    out[key] = entry.snapshot ? entry.snapshot()
+                              : std::map<std::string, int64_t>{};
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  for (auto& [handle, entry] : entries_) {
+    if (entry.reset) entry.reset();
+  }
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{\n";
+  auto snapshot = Snapshot();
+  bool first_group = true;
+  for (const auto& [group, counters] : snapshot) {
+    if (!first_group) out += ",\n";
+    first_group = false;
+    out += "  \"" + group + "\": {";
+    bool first_counter = true;
+    for (const auto& [name, value] : counters) {
+      if (!first_counter) out += ",";
+      first_counter = false;
+      out += "\n    \"" + name + "\": " + std::to_string(value);
+    }
+    out += counters.empty() ? "}" : "\n  }";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+MetricsRegistry& metrics_registry() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
 void Histogram::Add(double value) {
   samples_.push_back(value);
   sorted_ = false;

@@ -5,9 +5,12 @@
 #define BLOCKPLANE_COMMON_METRICS_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
+
+#include "common/macros.h"
 
 namespace blockplane {
 
@@ -82,6 +85,32 @@ struct HotPathStats {
 /// The process-wide hot-path counter block.
 HotPathStats& hotpath_stats();
 
+/// Process-wide counters for the reliable transport. Like HotPathStats,
+/// observability-only: plain int64 increments, snapshotted via the metrics
+/// registry and reset by benches/tests.
+struct TransportStats {
+  /// Data frames sent for the first time (excludes retransmissions).
+  int64_t frames_sent = 0;
+  /// Timeout-driven retransmissions.
+  int64_t retransmissions = 0;
+  /// Frames or acks discarded because their checksum failed.
+  int64_t discarded_corrupt = 0;
+  /// In-flight frames abandoned after max_retries — the sender gave up on
+  /// the peer. Each one also fires the transport's on_drop callback; a
+  /// non-zero count with no drop handler installed means some upper layer
+  /// may be waiting forever on a dead peer.
+  int64_t frames_abandoned = 0;
+  /// Payload bytes NOT copied thanks to the rvalue Send path (the old
+  /// by-value signature deep-copied every payload once at the API boundary
+  /// before the frame encoder copied it again).
+  int64_t bytes_copied_saved = 0;
+
+  void Reset() { *this = TransportStats{}; }
+};
+
+/// The process-wide transport counter block.
+TransportStats& transport_stats();
+
 /// Named counters, useful for asserting message complexity in tests
 /// (e.g. "wide-area messages sent").
 class CounterSet {
@@ -99,6 +128,52 @@ class CounterSet {
  private:
   std::map<std::string, int64_t> counters_;
 };
+
+/// One registry to rule the counters: unifies HotPathStats, TransportStats,
+/// per-Network CounterSets, and anything else behind a named
+/// snapshot/reset/JSON interface, so `bench_*` binaries and scripts/check.sh
+/// can dump every perf counter in one call instead of knowing each source.
+///
+/// Groups register a snapshot function (name -> value) and an optional
+/// reset function. The built-in "hotpath" and "transport" groups are
+/// registered on first access; Network instances register/unregister
+/// themselves in their constructor/destructor. Duplicate group names are
+/// disambiguated with a "#<handle>" suffix in snapshots, keeping output
+/// deterministic when e.g. two simulations coexist in one test binary.
+class MetricsRegistry {
+ public:
+  using SnapshotFn = std::function<std::map<std::string, int64_t>()>;
+  using ResetFn = std::function<void()>;
+
+  MetricsRegistry();
+  BP_DISALLOW_COPY_AND_ASSIGN(MetricsRegistry);
+
+  /// Registers a counter group; returns a handle for Unregister.
+  int64_t Register(std::string name, SnapshotFn snapshot,
+                   ResetFn reset = nullptr);
+  void Unregister(int64_t handle);
+
+  /// group name (possibly "#<handle>"-suffixed) -> counter name -> value.
+  std::map<std::string, std::map<std::string, int64_t>> Snapshot() const;
+
+  /// Resets every group that registered a reset function.
+  void ResetAll();
+
+  /// The full snapshot as pretty-printed JSON (stable key order).
+  std::string ToJson() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    SnapshotFn snapshot;
+    ResetFn reset;
+  };
+  std::map<int64_t, Entry> entries_;  // keyed by handle: deterministic order
+  int64_t next_handle_ = 1;
+};
+
+/// The process-wide registry (built-in groups pre-registered).
+MetricsRegistry& metrics_registry();
 
 }  // namespace blockplane
 

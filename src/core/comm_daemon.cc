@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/trace.h"
 #include "core/node.h"
 #include "core/wire.h"
 
@@ -129,6 +130,18 @@ void CommDaemon::OnAttestResponse(const net::Message& msg) {
 
 void CommDaemon::Transmit(Flight& flight, bool widen) {
   if (muted_) return;  // byzantine: pretends to send
+  Tracer& tr = tracer();
+  if (tr.enabled()) {
+    TraceId trace = tr.LookupCommRecord(host_->origin_site(),
+                                        flight.record.src_log_pos);
+    if (trace != kNoTrace) {
+      sim::SimTime now = host_->network()->simulator()->Now();
+      // First-wins: retransmissions do not move the milestone.
+      tr.Mark(trace, "transmitted", now);
+      tr.Instant(trace, "transmit", "geo", now, host_->self().site,
+                 host_->self().index, flight.record.src_log_pos);
+    }
+  }
   // Send P and the f_i+1 signatures to Blockplane nodes in the destination.
   // Initially f_i+1 receivers suffice; retransmissions widen to the whole
   // unit in case some of the first picks are faulty.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/trace.h"
 #include "core/comm_daemon.h"
 #include "core/wire.h"
 
@@ -332,6 +333,21 @@ void BlockplaneNode::ApplyValue(uint64_t seq, const Bytes& value) {
     }
     case RecordType::kReceived: {
       last_received_pos_[record.src_site] = record.src_log_pos;
+      {
+        Tracer& tr = tracer();
+        if (tr.enabled()) {
+          // A traced send whose transmission just committed in this
+          // (destination) unit: record the WAN-crossing milestone.
+          TraceId trace =
+              tr.LookupCommRecord(record.src_site, record.src_log_pos);
+          if (trace != kNoTrace) {
+            sim::SimTime now = network_->simulator()->Now();
+            tr.Mark(trace, "remote_committed", now);
+            tr.Instant(trace, "remote_commit", "geo", now, self_.site,
+                       self_.index, record.src_log_pos);
+          }
+        }
+      }
       // Ack every node that asked us to commit this transmission.
       auto key = std::make_pair(record.src_site, record.src_log_pos);
       auto pending = pending_acks_.find(key);

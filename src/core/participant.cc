@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace blockplane::core {
 
@@ -10,6 +11,17 @@ namespace {
 
 constexpr int32_t kClientIndexBase = 1001;
 constexpr int32_t kMirrorClientIndexBase = 2000;
+
+/// Starts a causal trace for one API operation: allocates the id (kNoTrace
+/// when tracing is disabled — every downstream site then skips its work)
+/// and records the "submit" milestone.
+TraceId BeginOpTrace(sim::Simulator* sim) {
+  Tracer& tr = tracer();
+  if (!tr.enabled()) return kNoTrace;
+  TraceId trace = tr.NewTrace();
+  tr.Mark(trace, "submit", sim->Now());
+  return trace;
+}
 
 }  // namespace
 
@@ -61,6 +73,7 @@ void Participant::LogCommit(Bytes payload, uint64_t routine_id,
   op.record.routine_id = routine_id;
   op.record.payload = std::move(payload);
   op.done = std::move(done);
+  op.trace = BeginOpTrace(sim_);
   EnqueueOp(std::move(op));
 }
 
@@ -73,6 +86,7 @@ void Participant::Send(net::SiteId dest, Bytes payload, uint64_t routine_id,
   op.record.payload = std::move(payload);
   op.record.dest_site = dest;
   op.done = std::move(done);
+  op.trace = BeginOpTrace(sim_);
   EnqueueOp(std::move(op));
 }
 
@@ -86,6 +100,7 @@ void Participant::MirrorCommit(net::SiteId origin, Bytes payload,
   op.record.payload = std::move(payload);
   op.done = std::move(done);
   op.mirror_origin = origin;
+  op.trace = BeginOpTrace(sim_);
   EnqueueOp(std::move(op));
 }
 
@@ -99,11 +114,24 @@ void Participant::EnqueueOp(ApiOp op) {
     // Without geo rounds there is no cross-operation state: submit
     // immediately and let the unit's leader order concurrent requests.
     CommitCallback done = std::move(op.done);
-    client_->Submit(op.record.Encode(),
-                    [this, done = std::move(done)](uint64_t pos) {
-                      ++commits_completed_;
-                      if (done) done(pos);
-                    });
+    TraceId trace = op.trace;
+    bool is_comm = op.record.type == RecordType::kCommunication;
+    client_->Submit(
+        op.record.Encode(),
+        [this, done = std::move(done), trace, is_comm](uint64_t pos) {
+          Tracer& tr = tracer();
+          if (tr.enabled() && trace != kNoTrace) {
+            sim::SimTime now = sim_->Now();
+            tr.Mark(trace, "local_committed", now);
+            tr.Mark(trace, "done", now);
+            // A communication record's journey continues in the daemons;
+            // bind (site, log pos) so they can tag later milestones.
+            if (is_comm) tr.BindCommRecord(site_, pos, trace);
+          }
+          ++commits_completed_;
+          if (done) done(pos);
+        },
+        trace);
     return;
   }
   ops_.push_back(std::move(op));
@@ -120,16 +148,30 @@ void Participant::RunNextOp() {
   }
   if (options_.fg > 0) op.record.geo_pos = geo_seq_ + 1;
   client_->Submit(op.record.Encode(),
-                  [this](uint64_t pos) { OnLocalCommitted(pos); });
+                  [this](uint64_t pos) { OnLocalCommitted(pos); }, op.trace);
 }
 
 void Participant::OnLocalCommitted(uint64_t pos) {
   BP_CHECK(!ops_.empty());
+  {
+    ApiOp& op = ops_.front();
+    Tracer& tr = tracer();
+    if (tr.enabled() && op.trace != kNoTrace) {
+      tr.Mark(op.trace, "local_committed", sim_->Now());
+      if (op.record.type == RecordType::kCommunication) {
+        tr.BindCommRecord(site_, pos, op.trace);
+      }
+    }
+  }
   if (options_.fg == 0) {
     ApiOp op = std::move(ops_.front());
     ops_.pop_front();
     op_in_flight_ = false;
     ++commits_completed_;
+    Tracer& tr = tracer();
+    if (tr.enabled() && op.trace != kNoTrace) {
+      tr.Mark(op.trace, "done", sim_->Now());
+    }
     if (op.done) op.done(pos);
     RunNextOp();
     return;
@@ -150,6 +192,8 @@ void Participant::StartGeoRound(uint64_t unit_pos) {
   geo_round_->targets = mirror_sites_;
   geo_round_->is_communication =
       op.record.type == RecordType::kCommunication;
+  geo_round_->trace = op.trace;
+  geo_round_->ts_local = sim_->Now();
 
   // Collect f_i+1 attestations from the unit, then replicate.
   AttestRequestMsg request;
@@ -184,6 +228,11 @@ void Participant::OnAttestResponse(const net::Message& msg) {
   }
   round.source_sigs.push_back(response.sig);
   if (static_cast<int>(round.source_sigs.size()) == options_.fi + 1) {
+    round.ts_attested = sim_->Now();
+    Tracer& tr = tracer();
+    if (tr.enabled() && round.trace != kNoTrace) {
+      tr.Mark(round.trace, "attested", round.ts_attested);
+    }
     ReplicateRound();
   }
 }
@@ -288,6 +337,21 @@ void Participant::FinishGeoRound() {
   ops_.pop_front();
   op_in_flight_ = false;
   ++commits_completed_;
+  Tracer& tr = tracer();
+  if (tr.enabled() && round.trace != kNoTrace) {
+    sim::SimTime now = sim_->Now();
+    tr.Mark(round.trace, "mirrored", now);
+    tr.Mark(round.trace, "done", now);
+    // Phase spans on the participant's track: attestation gathering and
+    // the WAN mirror round. Together with the PBFT "request" span they
+    // decompose the end-to-end commit latency.
+    if (round.ts_attested >= round.ts_local && round.ts_attested > 0) {
+      tr.Span(round.trace, "attest", "geo", round.ts_local,
+              round.ts_attested, site_, self_.index, round.geo_pos);
+      tr.Span(round.trace, "geo_mirror", "geo", round.ts_attested, now,
+              site_, self_.index, round.geo_pos);
+    }
+  }
   if (op.done) {
     op.done(round.unit_pos != 0 ? round.unit_pos : round.geo_pos);
   }
@@ -456,8 +520,14 @@ void Participant::CommitMirrorRecord(net::SiteId origin, uint64_t geo_pos) {
 
   // Commit into the local mirror group, then replicate to the other
   // mirror peers of the failed origin.
+  TraceId trace = op.trace;
   MirrorClient(origin)->Submit(
-      outer.Encode(), [this, origin, geo_pos, inner, digest](uint64_t) {
+      outer.Encode(),
+      [this, origin, geo_pos, inner, digest, trace](uint64_t) {
+        Tracer& tr = tracer();
+        if (tr.enabled() && trace != kNoTrace) {
+          tr.Mark(trace, "local_committed", sim_->Now());
+        }
         geo_round_ = std::make_unique<GeoRound>();
         GeoRound& round = *geo_round_;
         round.unit_pos = 0;
@@ -465,6 +535,8 @@ void Participant::CommitMirrorRecord(net::SiteId origin, uint64_t geo_pos) {
         round.origin = origin;
         round.record_encoded = inner;
         round.digest = digest;
+        round.trace = trace;
+        round.ts_local = sim_->Now();
         for (net::SiteId peer : mirror_peers_[origin]) {
           if (peer != site_ && peer != origin) round.targets.push_back(peer);
         }
@@ -479,7 +551,8 @@ void Participant::CommitMirrorRecord(net::SiteId origin, uint64_t geo_pos) {
         }
         round.retry_timer = sim_->Schedule(options_.geo_retry,
                                            [this]() { ReplicateRound(); });
-      });
+      },
+      trace);
 }
 
 pbft::PbftClient* Participant::MirrorClient(net::SiteId origin) {
@@ -547,6 +620,17 @@ void Participant::OnDeliverNotice(const net::Message& msg) {
     Bytes payload = std::move(first->second.second);
     delivered = first->first;
     ready.erase(first);
+    Tracer& tr = tracer();
+    if (tr.enabled()) {
+      // End of a traced send: the source participant bound (site, pos)
+      // when the communication record committed locally.
+      TraceId t = tr.LookupCommRecord(notice.src_site, delivered);
+      if (t != kNoTrace) {
+        sim::SimTime now = sim_->Now();
+        tr.Mark(t, "delivered", now);
+        tr.Instant(t, "deliver", "geo", now, site_, self_.index, delivered);
+      }
+    }
     if (receive_handler_) {
       receive_handler_(notice.src_site, payload);
     } else {

@@ -17,6 +17,7 @@
 #include <memory>
 #include <set>
 
+#include "common/trace.h"
 #include "core/node.h"
 #include "core/options.h"
 #include "core/wire.h"
@@ -106,12 +107,20 @@ class Participant : public net::Host {
     bool is_communication = false;
     CommitCallback done;
     sim::EventId retry_timer = sim::kInvalidEventId;
+    /// Causal trace of the API operation driving this round (0 = untraced)
+    /// plus the phase timestamps the "attest" / "geo_mirror" spans cover.
+    TraceId trace = kNoTrace;
+    sim::SimTime ts_local = 0;
+    sim::SimTime ts_attested = 0;
   };
 
   struct ApiOp {
     LogRecord record;
     CommitCallback done;
     net::SiteId mirror_origin = -1;  // >= 0 for MirrorCommit ops
+    /// Trace spanning the whole operation: submit -> local commit ->
+    /// attestation -> geo mirror -> done (see common/trace.h).
+    TraceId trace = kNoTrace;
   };
 
   void EnqueueOp(ApiOp op);

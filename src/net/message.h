@@ -45,6 +45,11 @@ struct Message {
   /// when zero.
   uint64_t wire_bytes = 0;
 
+  /// Causal trace id (common/trace.h) of the operation this message serves,
+  /// or 0 when untraced. Simulator metadata, not wire bytes: it rides the
+  /// Message struct the way wire_bytes does and never changes an encoding.
+  uint64_t trace_id = 0;
+
   /// The payload bytes (empty if none). Read-only by construction.
   const Bytes& body() const { return payload ? *payload : EmptyPayloadBytes(); }
 

@@ -11,7 +11,16 @@ Network::Network(sim::Simulator* simulator, Topology topology,
     : sim_(simulator),
       topology_(std::move(topology)),
       options_(options),
-      rng_(simulator->rng().Fork()) {}
+      rng_(simulator->rng().Fork()) {
+  // Expose this network's counters in the unified registry: snapshot copies
+  // the CounterSet; reset clears it. The handle is dropped in ~Network so a
+  // registry dump never reads freed memory.
+  metrics_handle_ = metrics_registry().Register(
+      "network", [this]() { return counters_.all(); },
+      [this]() { counters_.Clear(); });
+}
+
+Network::~Network() { metrics_registry().Unregister(metrics_handle_); }
 
 void Network::Register(NodeId id, Host* host) {
   BP_CHECK(id.valid());

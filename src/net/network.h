@@ -65,6 +65,7 @@ class Network {
  public:
   Network(sim::Simulator* simulator, Topology topology,
           NetworkOptions options = {});
+  ~Network();
   BP_DISALLOW_COPY_AND_ASSIGN(Network);
 
   /// Registers the handler for a node. Re-registering replaces the handler
@@ -126,6 +127,8 @@ class Network {
   std::set<std::pair<SiteId, SiteId>> partitions_;
 
   CounterSet counters_;
+  /// Handle of this network's group in the process-wide metrics registry.
+  int64_t metrics_handle_ = 0;
 };
 
 }  // namespace blockplane::net

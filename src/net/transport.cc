@@ -4,6 +4,7 @@
 
 #include "common/crc32.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 
 namespace blockplane::net {
 
@@ -13,13 +14,29 @@ namespace {
 constexpr MessageType kDataFrame = 0x80000001u;
 constexpr MessageType kAckFrame = 0x80000002u;
 
-Bytes EncodeDataFrame(uint64_t seq, MessageType app_type,
-                      const Bytes& payload) {
+/// Varint length of `v` (LEB128, 7 bits per byte).
+size_t VarintLen(uint64_t v) {
+  size_t len = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+Bytes EncodeDataFrame(uint64_t seq, MessageType app_type, Bytes&& payload) {
   Encoder enc;
+  // Exact frame size up front: u64 seq + u32 type + varint length prefix +
+  // payload + u32 crc. The byte-at-a-time appends below then never
+  // reallocate (the old encoder grew the buffer geometrically, re-copying
+  // the partially built frame along the way).
+  enc.Reserve(8 + 4 + VarintLen(payload.size()) + payload.size() + 4);
   enc.PutU64(seq);
   enc.PutU32(app_type);
   enc.PutBytes(payload);
   enc.PutU32(Crc32(enc.buffer()));
+  // The payload buffer itself is dead after this call; its bytes live on
+  // inside the frame. Taking it by rvalue is what saved the second copy.
   return enc.Take();
 }
 
@@ -54,14 +71,22 @@ sim::SimTime ReliableTransport::RtoFor(NodeId dst, int retries) const {
   return std::min(rto, options_.max_rto);
 }
 
-void ReliableTransport::Send(NodeId dst, MessageType type, Bytes payload) {
+void ReliableTransport::Send(NodeId dst, MessageType type, Bytes&& payload,
+                             uint64_t trace_id) {
   PeerSend& peer = send_state_[dst];
   uint64_t seq = peer.next_seq++;
   Pending pending;
+  pending.app_type = type;
+  pending.trace_id = trace_id;
+  // The rvalue signature spares the deep copy the old by-value parameter
+  // made at this API boundary; the frame encoder below is the only copy.
+  transport_stats().bytes_copied_saved +=
+      static_cast<int64_t>(payload.size());
   // Encode the frame exactly once; every transmission (first send and all
   // retransmits) shares this one buffer.
-  pending.frame = MakePayload(EncodeDataFrame(seq, type, payload));
+  pending.frame = MakePayload(EncodeDataFrame(seq, type, std::move(payload)));
   peer.in_flight.emplace(seq, std::move(pending));
+  ++transport_stats().frames_sent;
   TransmitFrame(dst, seq);
   ArmTimer(dst, seq);
 }
@@ -73,6 +98,7 @@ void ReliableTransport::TransmitFrame(NodeId dst, uint64_t seq) {
   msg.dst = dst;
   msg.type = kDataFrame;
   msg.payload = pending.frame;  // refcount bump, not a copy
+  msg.trace_id = pending.trace_id;
   if (pending.retries > 0) {
     hotpath_stats().bytes_copied_saved +=
         static_cast<int64_t>(pending.frame->size());
@@ -90,10 +116,27 @@ void ReliableTransport::ArmTimer(NodeId dst, uint64_t seq) {
         if (it == peer_it->second.in_flight.end()) return;  // acked
         Pending& p = it->second;
         if (++p.retries > options_.max_retries) {
-          peer_it->second.in_flight.erase(it);  // peer presumed dead
+          // Peer presumed dead. The old code erased the frame silently
+          // here, leaving upper layers waiting forever on a delivery that
+          // would never come; now the drop is counted, traced, and
+          // reported through on_drop.
+          MessageType app_type = p.app_type;
+          uint64_t trace_id = p.trace_id;
+          peer_it->second.in_flight.erase(it);
+          ++frames_abandoned_;
+          ++transport_stats().frames_abandoned;
+          Tracer& tr = tracer();
+          if (tr.enabled()) {
+            // Span-ending drop event: the trace's message died here.
+            tr.Instant(trace_id, "transport_drop", "net",
+                       network_->simulator()->Now(), self_.site, self_.index,
+                       seq);
+          }
+          if (on_drop_) on_drop_(dst, app_type, seq);
           return;
         }
         ++retransmissions_;
+        ++transport_stats().retransmissions;
         TransmitFrame(dst, seq);
         ArmTimer(dst, seq);
       });
@@ -119,6 +162,7 @@ void ReliableTransport::HandleDataFrame(const Message& raw) {
   // Verify the checksum before trusting any field.
   if (frame.size() < 4) {
     ++discarded_corrupt_;
+    ++transport_stats().discarded_corrupt;
     return;
   }
   Decoder crc_dec(frame.data() + frame.size() - 4, 4);
@@ -126,6 +170,7 @@ void ReliableTransport::HandleDataFrame(const Message& raw) {
   BP_CHECK(crc_dec.GetU32(&expected_crc).ok());
   if (Crc32(frame.data(), frame.size() - 4) != expected_crc) {
     ++discarded_corrupt_;  // corrupted in flight; sender will retransmit
+    ++transport_stats().discarded_corrupt;
     return;
   }
 
@@ -136,6 +181,7 @@ void ReliableTransport::HandleDataFrame(const Message& raw) {
   if (!dec.GetU64(&seq).ok() || !dec.GetU32(&app_type).ok() ||
       !dec.GetBytes(&payload).ok()) {
     ++discarded_corrupt_;
+    ++transport_stats().discarded_corrupt;
     return;
   }
 
@@ -160,7 +206,8 @@ void ReliableTransport::HandleDataFrame(const Message& raw) {
     // moves the same allocation into the application message.
     hotpath_stats().bytes_copied_saved +=
         static_cast<int64_t>(shared->size());
-    peer.pending.emplace(seq, std::make_pair(app_type, std::move(shared)));
+    peer.pending.emplace(
+        seq, BufferedFrame{app_type, std::move(shared), raw.trace_id});
     return;
   }
   // In-order: deliver, then drain any buffered successors.
@@ -169,6 +216,7 @@ void ReliableTransport::HandleDataFrame(const Message& raw) {
   out.dst = self_;
   out.type = app_type;
   out.payload = std::move(shared);
+  out.trace_id = raw.trace_id;  // the causal id crosses the transport
   peer.next_expected++;
   handler_(out);
   while (true) {
@@ -177,8 +225,9 @@ void ReliableTransport::HandleDataFrame(const Message& raw) {
     Message next;
     next.src = raw.src;
     next.dst = self_;
-    next.type = it->second.first;
-    next.payload = std::move(it->second.second);
+    next.type = it->second.app_type;
+    next.payload = std::move(it->second.payload);
+    next.trace_id = it->second.trace_id;
     peer.pending.erase(it);
     peer.next_expected++;
     handler_(next);
@@ -194,6 +243,7 @@ void ReliableTransport::HandleAckFrame(const Message& raw) {
   if (frame.size() < 12 ||
       Crc32(frame.data(), 8) != crc) {
     ++discarded_corrupt_;
+    ++transport_stats().discarded_corrupt;
     return;
   }
   auto peer_it = send_state_.find(raw.src);

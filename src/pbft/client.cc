@@ -21,11 +21,13 @@ PbftClient::~PbftClient() {
   network_->Unregister(self_);
 }
 
-void PbftClient::Submit(Bytes value, DoneCallback done) {
+void PbftClient::Submit(Bytes value, DoneCallback done, TraceId trace_id) {
   uint64_t req_id = next_req_id_++;
   PendingRequest& pending = pending_[req_id];
   pending.value = std::move(value);
   pending.done = std::move(done);
+  pending.trace = trace_id;
+  pending.submitted_at = sim_->Now();
   SendRequest(req_id, /*broadcast=*/false);
   ArmRetry(req_id);
 }
@@ -46,6 +48,7 @@ void PbftClient::SendRequest(uint64_t req_id, bool broadcast) {
     msg.dst = dst;
     msg.type = kRequest;
     msg.payload = encoded;  // refcount bump, not a copy
+    msg.trace_id = it->second.trace;  // causal tag rides the whole round
     network_->Send(std::move(msg));
   };
   if (broadcast) {
@@ -85,11 +88,19 @@ void PbftClient::HandleMessage(const net::Message& msg) {
   if (it == pending_.end()) return;  // already completed or never sent
   view_hint_ = std::max(view_hint_, reply.view);
 
-  auto& votes = it->second.votes[reply.seq];
+  // Vote on (seq, result digest). Keying on seq alone let f byzantine
+  // replicas plus one honest straggler "agree" while holding divergent
+  // states; the digest pins the replies to a single post-execution state.
+  auto& votes = it->second.votes[{reply.seq, reply.result_digest}];
   votes.insert(sender);
   if (static_cast<int>(votes.size()) < config_.f + 1) return;
 
   // f+1 matching replies: at least one is from an honest replica.
+  Tracer& tr = tracer();
+  if (tr.enabled() && it->second.trace != kNoTrace) {
+    tr.Span(it->second.trace, "request", "pbft", it->second.submitted_at,
+            sim_->Now(), self_.site, self_.index, reply.seq);
+  }
   DoneCallback done = std::move(it->second.done);
   sim_->Cancel(it->second.retry_timer);
   pending_.erase(it);

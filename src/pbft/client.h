@@ -3,6 +3,12 @@
 // Retransmits by broadcasting to all replicas, which triggers a view change
 // if the leader is censoring the request.
 //
+// "Matching" means matching on (seq, result_digest): a reply carries the
+// replica's post-execution state digest, so f+1 replicas that agree on the
+// sequence number but diverge on state can never complete a request (they
+// did in an earlier version of this client — see byzantine_test.cc's
+// DivergentRepliesDoNotComplete regression test).
+//
 // Blockplane's Participant handle uses a PbftClient per unit to drive
 // local-commit (§IV-B); clients are their own (co-located) network nodes.
 #ifndef BLOCKPLANE_PBFT_CLIENT_H_
@@ -11,7 +17,9 @@
 #include <functional>
 #include <map>
 #include <set>
+#include <utility>
 
+#include "common/trace.h"
 #include "net/network.h"
 #include "pbft/config.h"
 #include "pbft/message.h"
@@ -28,8 +36,10 @@ class PbftClient : public net::Host {
   BP_DISALLOW_COPY_AND_ASSIGN(PbftClient);
 
   /// Submits a value for total-order commit. Multiple requests may be
-  /// outstanding; each completes via its own callback.
-  void Submit(Bytes value, DoneCallback done);
+  /// outstanding; each completes via its own callback. `trace_id` (if
+  /// non-zero) tags every message of the request's PBFT round for causal
+  /// tracing.
+  void Submit(Bytes value, DoneCallback done, TraceId trace_id = kNoTrace);
 
   void HandleMessage(const net::Message& msg) override;
 
@@ -40,10 +50,15 @@ class PbftClient : public net::Host {
   struct PendingRequest {
     Bytes value;
     DoneCallback done;
-    /// (seq) -> replica indices that replied with that seq.
-    std::map<uint64_t, std::set<int32_t>> votes;
+    /// (seq, result digest) -> replica indices that replied with exactly
+    /// that outcome. Keying on the digest too is what makes f+1 "matching"
+    /// replies actually match (seq alone cannot tell divergent states
+    /// apart).
+    std::map<std::pair<uint64_t, crypto::Digest>, std::set<int32_t>> votes;
     sim::EventId retry_timer = sim::kInvalidEventId;
     bool broadcast = false;
+    TraceId trace = kNoTrace;
+    sim::SimTime submitted_at = 0;
   };
 
   void SendRequest(uint64_t req_id, bool broadcast);

@@ -141,6 +141,7 @@ Bytes ReplyMsg::Encode() const {
   enc.PutU64(req_id);
   enc.PutU64(seq);
   enc.PutU32(static_cast<uint32_t>(replica));
+  PutDigest(&enc, result_digest);
   return enc.Take();
 }
 
@@ -152,6 +153,7 @@ Status ReplyMsg::Decode(const Bytes& buf, ReplyMsg* out) {
   uint32_t replica = 0;
   BP_RETURN_NOT_OK(dec.GetU32(&replica));
   out->replica = static_cast<int32_t>(replica);
+  BP_RETURN_NOT_OK(GetDigest(&dec, &out->result_digest));
   return Status::OK();
 }
 

@@ -87,6 +87,11 @@ struct ReplyMsg {
   uint64_t req_id = 0;
   uint64_t seq = 0;  // sequence number assigned to the request
   int32_t replica = -1;
+  /// The replica's rolling state digest after executing `seq`. Honest
+  /// replicas agree on it; a client therefore accepts a result only once
+  /// f+1 replies match on (seq, result_digest) — f+1 replies that agree on
+  /// seq alone could still hide up to f divergent (lying) states.
+  Digest result_digest{};
 
   Bytes Encode() const;
   static Status Decode(const Bytes& buf, ReplyMsg* out);

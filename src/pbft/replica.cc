@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "crypto/sha256.h"
 
 namespace blockplane::pbft {
@@ -82,7 +83,8 @@ void PbftReplica::HandleMessage(const net::Message& msg) {
 
 // --- plumbing ---------------------------------------------------------------
 
-void PbftReplica::Broadcast(net::MessageType type, Bytes payload) {
+void PbftReplica::Broadcast(net::MessageType type, Bytes payload,
+                            uint64_t trace_id) {
   // Encode-once fan-out: one allocation, shared by every recipient's
   // Message. Each SendShared is a refcount bump where it used to be a full
   // buffer copy per peer.
@@ -90,7 +92,7 @@ void PbftReplica::Broadcast(net::MessageType type, Bytes payload) {
   int recipients = 0;
   for (const net::NodeId& node : config_.nodes) {
     if (node == self_) continue;
-    SendShared(node, type, shared);
+    SendShared(node, type, shared, trace_id);
     ++recipients;
   }
   if (recipients > 1) {
@@ -101,17 +103,18 @@ void PbftReplica::Broadcast(net::MessageType type, Bytes payload) {
 }
 
 void PbftReplica::SendTo(net::NodeId dst, net::MessageType type,
-                         Bytes payload) {
-  SendShared(dst, type, net::MakePayload(std::move(payload)));
+                         Bytes payload, uint64_t trace_id) {
+  SendShared(dst, type, net::MakePayload(std::move(payload)), trace_id);
 }
 
 void PbftReplica::SendShared(net::NodeId dst, net::MessageType type,
-                             net::PayloadPtr payload) {
+                             net::PayloadPtr payload, uint64_t trace_id) {
   net::Message msg;
   msg.src = self_;
   msg.dst = dst;
   msg.type = type;
   msg.payload = std::move(payload);
+  msg.trace_id = trace_id;
   network_->Send(std::move(msg));
 }
 
@@ -174,7 +177,7 @@ void PbftReplica::OnRequest(const net::Message& msg) {
     auto key = std::make_pair(request.client_token, request.req_id);
     if (assigned_requests_.count(key) > 0) return;  // already proposed
     assigned_requests_.insert(key);
-    pending_requests_.push_back(std::move(request));
+    pending_requests_.push_back({std::move(request), msg.trace_id});
     MaybeProposeNext();
     return;
   }
@@ -189,7 +192,7 @@ void PbftReplica::OnRequest(const net::Message& msg) {
   // Forward the received payload verbatim by reference — no re-encode, no
   // copy (the leader decodes the same bytes we did).
   hotpath_stats().bytes_copied_saved += static_cast<int64_t>(msg.body().size());
-  SendShared(leader(), kRequest, msg.payload);
+  SendShared(leader(), kRequest, msg.payload, msg.trace_id);
   auto key = std::make_pair(request.client_token, request.req_id);
   if (watched_requests_.count(key) > 0) return;
   sim::EventId timer = sim_->Schedule(config_.view_timeout, [this, key]() {
@@ -205,19 +208,21 @@ void PbftReplica::OnRequest(const net::Message& msg) {
 void PbftReplica::MaybeProposeNext() {
   if (!IsLeader() || in_view_change_ || proposal_outstanding_) return;
   while (!pending_requests_.empty()) {
-    RequestMsg request = std::move(pending_requests_.front());
+    PendingRequest pending = std::move(pending_requests_.front());
+    RequestMsg& request = pending.request;
     pending_requests_.pop_front();
     // An honest leader does not propose values its own verification
     // routine rejects (e.g. a receive that another node already committed);
     // proposing them would stall the group into a needless view change.
     if (!RunVerifier(request.value)) continue;
-    Propose(request.client_token, request.req_id, std::move(request.value));
+    Propose(request.client_token, request.req_id, std::move(request.value),
+            pending.trace_id);
     return;
   }
 }
 
 void PbftReplica::Propose(uint64_t client_token, uint64_t req_id,
-                          Bytes value) {
+                          Bytes value, uint64_t trace_id) {
   uint64_t seq = next_seq_++;
   proposal_outstanding_ = true;
   outstanding_seq_ = seq;
@@ -239,6 +244,8 @@ void PbftReplica::Propose(uint64_t client_token, uint64_t req_id,
   instance.value = pp.value;
   instance.client_token = client_token;
   instance.req_id = req_id;
+  instance.trace_id = trace_id;
+  instance.ts_started = sim_->Now();
   ArmProgressTimer(seq);
 
   if (byzantine_ == ByzantineMode::kEquivocate) {
@@ -252,11 +259,11 @@ void PbftReplica::Propose(uint64_t client_token, uint64_t req_id,
         forged.digest = DigestOf(forged.value);
         forged.sig = Sign(forged.CanonicalHeader());
       }
-      SendTo(node, kPrePrepare, forged.Encode());
+      SendTo(node, kPrePrepare, forged.Encode(), trace_id);
     }
     return;
   }
-  Broadcast(kPrePrepare, pp.Encode());
+  Broadcast(kPrePrepare, pp.Encode(), trace_id);
 }
 
 // --- three-phase protocol -----------------------------------------------------
@@ -294,6 +301,8 @@ void PbftReplica::OnPrePrepare(const net::Message& msg) {
   instance.value = std::move(pp.value);
   instance.client_token = pp.client_token;
   instance.req_id = pp.req_id;
+  if (instance.trace_id == 0) instance.trace_id = msg.trace_id;
+  if (instance.ts_started == 0) instance.ts_started = sim_->Now();
   ArmProgressTimer(pp.seq);
 
   // Broadcast our prepare vote.
@@ -308,7 +317,7 @@ void PbftReplica::OnPrePrepare(const net::Message& msg) {
   prepare.sig = Sign(CanonicalBodyFor(prepare));
   instance.sent_prepare = true;
   instance.prepares[index_] = {prepare.digest, prepare.sig};  // own vote
-  Broadcast(kPrepare, prepare.Encode());
+  Broadcast(kPrepare, prepare.Encode(), instance.trace_id);
   MaybePrepared(pp.seq);
 }
 
@@ -325,6 +334,7 @@ void PbftReplica::OnPrepare(const net::Message& msg) {
 
   Instance& instance = instances_[vote.seq];
   if (!instance.has_preprepare) instance.view = vote.view;
+  if (instance.trace_id == 0) instance.trace_id = msg.trace_id;
   // Buffered early votes carry their digest; only matching ones count.
   instance.prepares.emplace(sender,
                             Instance::Vote{vote.digest, vote.sig});
@@ -342,6 +352,7 @@ void PbftReplica::MaybePrepared(uint64_t seq) {
     return;
   }
   instance.prepared = true;
+  instance.ts_prepared = sim_->Now();
 
   // Blockplane §IV-B: run the verification routine before the commit vote.
   if (!RunVerifier(instance.value)) {
@@ -372,7 +383,7 @@ void PbftReplica::SendCommitVote(uint64_t seq) {
   instance.sent_commit = true;
   instance.commit_view = instance.view;
   instance.commits[index_] = {instance.digest, commit.sig};
-  Broadcast(kCommit, commit.Encode());
+  Broadcast(kCommit, commit.Encode(), instance.trace_id);
   MaybeCommitted(seq);
 }
 
@@ -398,6 +409,7 @@ void PbftReplica::OnCommit(const net::Message& msg) {
   if (vote.sig.signer != msg.src) return;
 
   Instance& instance = instances_[vote.seq];
+  if (instance.trace_id == 0) instance.trace_id = msg.trace_id;
   instance.commit_view = vote.view;
   instance.commits[sender] = {vote.digest, vote.sig};
   MaybeCommitted(vote.seq);
@@ -412,6 +424,7 @@ void PbftReplica::MaybeCommitted(uint64_t seq) {
     return;
   }
   instance.committed = true;
+  instance.ts_committed = sim_->Now();
   CancelProgressTimer(&instance);
   ExecuteReady();
 }
@@ -437,6 +450,22 @@ void PbftReplica::ExecuteReady() {
       chain.PutRaw(instance.digest.data(), instance.digest.size());
       state_digest_ = crypto::Sha256Digest(chain.buffer());
       if (execute_) execute_(seq, instance.value);
+      Tracer& tr = tracer();
+      if (tr.enabled() && instance.trace_id != 0) {
+        // Per-replica phase spans: how long this instance spent reaching
+        // the prepared and committed points, plus an execution instant.
+        if (instance.ts_prepared >= instance.ts_started) {
+          tr.Span(instance.trace_id, "prepare", "pbft", instance.ts_started,
+                  instance.ts_prepared, self_.site, self_.index, seq);
+        }
+        if (instance.ts_committed >= instance.ts_prepared &&
+            instance.ts_prepared > 0) {
+          tr.Span(instance.trace_id, "commit", "pbft", instance.ts_prepared,
+                  instance.ts_committed, self_.site, self_.index, seq);
+        }
+        tr.Instant(instance.trace_id, "execute", "pbft", sim_->Now(),
+                   self_.site, self_.index, seq);
+      }
       SendReply(instance, seq);
     }
 
@@ -479,11 +508,16 @@ void PbftReplica::SendReply(const Instance& instance, uint64_t seq) {
   reply.req_id = instance.req_id;
   reply.seq = seq;
   reply.replica = index_;
+  // The rolling state digest after executing `seq` (chained just before
+  // this call). Honest replicas agree on it; it is what makes the client's
+  // f+1 "matching" replies actually match — see ReplyMsg::result_digest.
+  reply.result_digest = state_digest_;
   Bytes encoded = reply.Encode();
   auto& cache = cached_replies_[instance.client_token];
   cache[instance.req_id] = encoded;
   if (cache.size() > 128) cache.erase(cache.begin());
-  SendTo(ClientFromToken(instance.client_token), kReply, std::move(encoded));
+  SendTo(ClientFromToken(instance.client_token), kReply, std::move(encoded),
+         instance.trace_id);
 }
 
 // --- state transfer / catch-up -------------------------------------------------

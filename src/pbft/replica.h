@@ -131,6 +131,22 @@ class PbftReplica : public net::Host {
     /// state advances (the routine may depend on earlier executions).
     bool verify_pending = false;
     sim::EventId progress_timer = sim::kInvalidEventId;
+    /// Causal trace of the request driving this instance (0 = untraced).
+    /// Set from the pre-prepare (or the leader's pending request) and
+    /// backfilled from the first traced vote that arrives before it.
+    uint64_t trace_id = 0;
+    /// Phase timestamps for the latency breakdown: when this replica first
+    /// saw the instance, when it prepared, and when it committed. Spans are
+    /// emitted at execution time (ExecuteReady).
+    sim::SimTime ts_started = 0;
+    sim::SimTime ts_prepared = 0;
+    sim::SimTime ts_committed = 0;
+  };
+
+  /// A client request queued at the leader, with its causal trace.
+  struct PendingRequest {
+    RequestMsg request;
+    uint64_t trace_id = 0;
   };
 
   // -- message handlers --
@@ -148,7 +164,8 @@ class PbftReplica : public net::Host {
 
   // -- leader logic --
   void MaybeProposeNext();
-  void Propose(uint64_t client_token, uint64_t req_id, Bytes value);
+  void Propose(uint64_t client_token, uint64_t req_id, Bytes value,
+               uint64_t trace_id);
 
   // -- phase transitions --
   void MaybePrepared(uint64_t seq);
@@ -176,12 +193,15 @@ class PbftReplica : public net::Host {
   // -- plumbing --
   /// Encodes the payload once and fans it out by refcount bump: every
   /// recipient's Message shares one allocation (encode-once broadcast).
-  void Broadcast(net::MessageType type, Bytes payload);
-  void SendTo(net::NodeId dst, net::MessageType type, Bytes payload);
+  /// `trace_id` (if non-zero) tags every outgoing Message for causal
+  /// tracing; it rides the simulator Message out-of-band, not the wire.
+  void Broadcast(net::MessageType type, Bytes payload, uint64_t trace_id = 0);
+  void SendTo(net::NodeId dst, net::MessageType type, Bytes payload,
+              uint64_t trace_id = 0);
   /// Sends an already-shared payload without copying (broadcast fan-out,
   /// verbatim request forwarding).
   void SendShared(net::NodeId dst, net::MessageType type,
-                  net::PayloadPtr payload);
+                  net::PayloadPtr payload, uint64_t trace_id = 0);
   /// Canonical body for `vote`, memoized per (type, view, seq): the 2f+1
   /// votes of one instance share a single encode instead of re-encoding
   /// identical bytes per vote. Entries whose digest differs (byzantine
@@ -213,7 +233,7 @@ class PbftReplica : public net::Host {
   uint64_t next_seq_ = 1;        // leader: next sequence number to assign
   bool proposal_outstanding_ = false;
   uint64_t outstanding_seq_ = 0;
-  std::deque<RequestMsg> pending_requests_;
+  std::deque<PendingRequest> pending_requests_;
   /// Requests already assigned a sequence number (leader-side dedup).
   std::set<std::pair<uint64_t, uint64_t>> assigned_requests_;
 

@@ -5,6 +5,8 @@
 
 #include "common/metrics.h"
 #include "core/deployment.h"
+#include "pbft/client.h"
+#include "pbft/message.h"
 #include "protocols/bank.h"
 #include "protocols/counter.h"
 #include "sim/simulator.h"
@@ -333,6 +335,61 @@ TEST(ByzantineEndToEndTest, QuorumReadSurvivesALyingReplica) {
   ASSERT_TRUE(
       simulator.RunUntilCondition([&] { return read_done; }, Seconds(30)));
   EXPECT_EQ(ToString(result.payload), "the truth");
+}
+
+// Regression: the client used to count f+1 replies as "matching" when they
+// merely agreed on the sequence number. f byzantine replicas plus one
+// honest straggler could then complete a request whose outcome the honest
+// quorum never produced. Replies now vote on (seq, result_digest) — the
+// replica's post-execution state digest — so divergent states never reach
+// f+1 together.
+TEST(ByzantineEndToEndTest, DivergentRepliesDoNotComplete) {
+  sim::Simulator simulator(7);
+  net::Network network(&simulator, Topology::Aws4(), {});
+  pbft::PbftConfig config;
+  config.f = 1;
+  for (int i = 0; i < 4; ++i) config.nodes.push_back(net::NodeId{0, i});
+  pbft::PbftClient client(&network, config, net::NodeId{0, 1001});
+
+  int completions = 0;
+  uint64_t completed_seq = 0;
+  client.Submit(ToBytes("op"), [&](uint64_t seq) {
+    completed_seq = seq;
+    ++completions;
+  });
+
+  auto reply_from = [&](int replica, const crypto::Digest& digest) {
+    pbft::ReplyMsg reply;
+    reply.view = 0;
+    reply.req_id = 1;
+    reply.seq = 1;
+    reply.replica = replica;
+    reply.result_digest = digest;
+    net::Message msg;
+    msg.src = config.nodes[replica];
+    msg.dst = client.self();
+    msg.type = pbft::kReply;
+    msg.set_body(reply.Encode());
+    client.HandleMessage(msg);
+  };
+
+  crypto::Digest honest{};
+  honest.fill(0xaa);
+  crypto::Digest lying{};
+  lying.fill(0xbb);
+
+  // f+1 = 2 replies that agree on seq but diverge on post-execution state:
+  // the pre-fix client accepted here.
+  reply_from(0, honest);
+  reply_from(1, lying);
+  EXPECT_EQ(completions, 0) << "divergent replies must not complete";
+  EXPECT_EQ(client.completed(), 0u);
+
+  // A second reply matching the honest digest is a genuine f+1 match.
+  reply_from(2, honest);
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(completed_seq, 1u);
+  EXPECT_EQ(client.completed(), 1u);
 }
 
 // --- randomized crash/recover soak ---------------------------------------------

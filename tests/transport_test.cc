@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "net/network.h"
 #include "sim/simulator.h"
 
@@ -108,6 +110,52 @@ TEST_F(TransportTest, GivesUpOnCrashedPeerWithoutLeakingEvents) {
   simulator_.Run();
   EXPECT_TRUE(b_->received.empty());
   EXPECT_GT(a_->transport->retransmissions(), 0);
+}
+
+// Regression: an abandoned frame used to be erased silently, leaving the
+// sender's upper layers waiting forever on a delivery that would never
+// come. Now max_retries exhaustion fires the on_drop callback and counts
+// the frame in frames_abandoned (and in the transport metrics group).
+TEST_F(TransportTest, AbandonedFrameNotifiesSender) {
+  transport_stats().Reset();
+  std::vector<std::pair<NodeId, MessageType>> drops;
+  a_->transport->set_on_drop(
+      [&](NodeId dst, MessageType type, uint64_t /*seq*/) {
+        drops.emplace_back(dst, type);
+      });
+  network_->Crash({1, 0});
+  a_->transport->Send({1, 0}, 7, ToBytes("doomed"));
+  a_->transport->Send({1, 0}, 8, ToBytes("also doomed"));
+  simulator_.Run();
+
+  EXPECT_TRUE(b_->received.empty());
+  EXPECT_EQ(a_->transport->frames_abandoned(), 2);
+  ASSERT_EQ(drops.size(), 2u);
+  // The callback reports which application message died, not just that
+  // "something" was dropped.
+  EXPECT_EQ(drops[0].first, (NodeId{1, 0}));
+  EXPECT_EQ(drops[0].second, 7u);
+  EXPECT_EQ(drops[1].second, 8u);
+  // Mirrored into the process-wide metrics group for bench/CI dumps.
+  EXPECT_EQ(transport_stats().frames_abandoned, 2);
+  EXPECT_GT(transport_stats().retransmissions, 0);
+}
+
+// The on_drop callback fires after the frame has left the in-flight set,
+// so re-sending from inside the callback is safe (e.g. failover to a
+// different peer).
+TEST_F(TransportTest, OnDropMaySendAgain) {
+  auto c = std::make_unique<Endpoint>(network_.get(), NodeId{2, 0});
+  a_->transport->set_on_drop(
+      [&](NodeId /*dst*/, MessageType type, uint64_t /*seq*/) {
+        a_->transport->Send({2, 0}, type, ToBytes("failover"));
+      });
+  network_->Crash({1, 0});
+  a_->transport->Send({1, 0}, 9, ToBytes("doomed"));
+  simulator_.Run();
+  ASSERT_EQ(c->received.size(), 1u);
+  EXPECT_EQ(c->received[0].type, 9u);
+  EXPECT_EQ(ToString(c->received[0].body()), "failover");
 }
 
 TEST_F(TransportTest, StressManyMessagesLossyBothWays) {
