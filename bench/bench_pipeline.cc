@@ -1,0 +1,234 @@
+// Pipelining sweep (DESIGN.md §9): throughput of (A) a wide-area PBFT
+// group and (B) the full geo-correlated commit path as a function of the
+// sliding-window size, over the Table-I AWS RTT matrix.
+//
+// Window 1 reproduces the paper's stop-and-wait behaviour (§VI-C: "a
+// leader only attempts to commit a single batch and does not start the
+// next one until the current one is committed"); larger windows keep W
+// consensus instances / geo rounds in flight while execution and
+// completion callbacks stay strictly in submission order.
+//
+// Writes BENCH_pipeline.json. `--smoke` runs a small window-1-vs-8
+// comparison and exits non-zero unless window 8 is strictly faster (used
+// by scripts/check.sh as a perf regression gate).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/deployment.h"
+#include "pbft/client.h"
+#include "pbft/replica.h"
+
+namespace blockplane {
+namespace {
+
+struct Result {
+  uint64_t window = 0;
+  uint64_t commits = 0;
+  double sim_ms = 0;
+  double throughput_per_sec = 0;
+  uint64_t ooo_commits = 0;        // certificates finished out of order
+  uint64_t ooo_completions = 0;    // geo rounds finished out of order
+};
+
+net::NetworkOptions BenchNet() {
+  net::NetworkOptions options;
+  options.intra_site_one_way = sim::Microseconds(100);
+  options.per_message_cpu = sim::Microseconds(25);
+  return options;
+}
+
+// --- A: flat wide-area PBFT, one replica per Table-I site ------------------
+
+Result RunWanPbft(uint64_t window, uint64_t target_commits) {
+  pipeline_stats().Reset();
+  sim::Simulator simulator(1);
+  net::Network network(&simulator, net::Topology::Aws4(), BenchNet());
+  crypto::KeyStore keys;
+
+  pbft::PbftConfig config;
+  config.f = 1;
+  for (int site = 0; site < 4; ++site) {
+    config.nodes.push_back(net::NodeId{site, 0});
+  }
+  config.window = window;
+  config.checkpoint_interval = 32;
+  config.sign_messages = false;
+  config.hash_payloads = false;
+  // Wide-area deployment: timeouts must exceed WAN round trips.
+  config.view_timeout = sim::Milliseconds(1500);
+  config.client_retry = sim::Milliseconds(3000);
+
+  std::vector<std::unique_ptr<pbft::PbftReplica>> replicas;
+  for (int site = 0; site < 4; ++site) {
+    auto replica = std::make_unique<pbft::PbftReplica>(
+        &network, &keys, config, net::NodeId{site, 0}, nullptr);
+    replica->RegisterWithNetwork();
+    replicas.push_back(std::move(replica));
+  }
+  pbft::PbftClient client(&network, config, net::NodeId{0, 900});
+
+  // Closed loop: keep `window` requests outstanding (offered concurrency
+  // matches the window, so window 1 degenerates to the paper's behaviour).
+  Bytes payload = bench::MakeBatch(1);
+  uint64_t issued = 0;
+  uint64_t completed = 0;
+  std::function<void()> submit_next = [&]() {
+    if (issued >= target_commits) return;
+    ++issued;
+    client.Submit(Bytes(payload), [&](uint64_t) {
+      ++completed;
+      submit_next();
+    });
+  };
+  sim::SimTime start = simulator.Now();
+  for (uint64_t i = 0; i < window && i < target_commits; ++i) submit_next();
+  simulator.RunUntilCondition([&] { return completed >= target_commits; },
+                              simulator.Now() + sim::Seconds(600));
+  BP_CHECK_MSG(completed >= target_commits, "wan_pbft bench stalled");
+
+  Result r;
+  r.window = window;
+  r.commits = completed;
+  r.sim_ms = sim::ToMillis(simulator.Now() - start);
+  r.throughput_per_sec = completed / (r.sim_ms / 1000.0);
+  r.ooo_commits = pipeline_stats().pbft_ooo_commits;
+  return r;
+}
+
+// --- B: full geo-correlated commit path (f_i = 1, f_g = 1) -----------------
+
+Result RunGeoCommit(uint64_t window, uint64_t target_commits) {
+  pipeline_stats().Reset();
+  sim::Simulator simulator(1);
+  core::BlockplaneOptions options;
+  options.fi = 1;
+  options.fg = 1;
+  options.sign_messages = false;
+  options.hash_payloads = false;
+  options.checkpoint_interval = 32;
+  options.pbft_window = window;
+  options.participant_window = window;
+  core::Deployment deployment(&simulator, net::Topology::Aws4(), options,
+                              BenchNet());
+
+  core::Participant* participant = deployment.participant(net::kCalifornia);
+  Bytes payload = bench::MakeBatch(1);
+  uint64_t issued = 0;
+  uint64_t completed = 0;
+  std::function<void()> submit_next = [&]() {
+    if (issued >= target_commits) return;
+    ++issued;
+    participant->LogCommit(Bytes(payload), 0, [&](uint64_t) {
+      ++completed;
+      submit_next();
+    });
+  };
+  sim::SimTime start = simulator.Now();
+  for (uint64_t i = 0; i < window && i < target_commits; ++i) submit_next();
+  simulator.RunUntilCondition([&] { return completed >= target_commits; },
+                              simulator.Now() + sim::Seconds(600));
+  BP_CHECK_MSG(completed >= target_commits, "geo_commit bench stalled");
+
+  Result r;
+  r.window = window;
+  r.commits = completed;
+  r.sim_ms = sim::ToMillis(simulator.Now() - start);
+  r.throughput_per_sec = completed / (r.sim_ms / 1000.0);
+  r.ooo_commits = pipeline_stats().pbft_ooo_commits;
+  r.ooo_completions = pipeline_stats().participant_ooo_completions;
+  return r;
+}
+
+void PrintRows(const char* name, const std::vector<Result>& results) {
+  std::printf("\n%s:\n", name);
+  std::printf("%8s %9s %12s %14s %10s %8s\n", "window", "commits", "sim (ms)",
+              "commits/sec", "speedup", "ooo");
+  double base = results.empty() ? 1.0 : results[0].throughput_per_sec;
+  for (const Result& r : results) {
+    std::printf("%8llu %9llu %12.1f %14.1f %9.2fx %8llu\n",
+                static_cast<unsigned long long>(r.window),
+                static_cast<unsigned long long>(r.commits), r.sim_ms,
+                r.throughput_per_sec, r.throughput_per_sec / base,
+                static_cast<unsigned long long>(r.ooo_commits +
+                                                r.ooo_completions));
+  }
+}
+
+void PutResults(std::ofstream& out, const std::vector<Result>& results) {
+  out << "[\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    out << "    {\"window\": " << r.window << ", \"commits\": " << r.commits
+        << ", \"sim_ms\": " << r.sim_ms
+        << ", \"throughput_per_sec\": " << r.throughput_per_sec
+        << ", \"ooo_commits\": " << r.ooo_commits
+        << ", \"ooo_completions\": " << r.ooo_completions << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]";
+}
+
+}  // namespace
+}  // namespace blockplane
+
+int main(int argc, char** argv) {
+  using namespace blockplane;
+  bool smoke = false;
+  std::string out_path = "BENCH_pipeline.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+  }
+
+  bench::PrintHeader(
+      "Pipelining sweep: sliding-window PBFT + windowed geo-commit",
+      "window 1 = the paper's stop-and-wait group commit (SVI-C); "
+      "DESIGN.md S9");
+
+  std::vector<uint64_t> windows =
+      smoke ? std::vector<uint64_t>{1, 8}
+            : std::vector<uint64_t>{1, 2, 4, 8, 16};
+  const uint64_t wan_commits = smoke ? 48 : 120;
+  const uint64_t geo_commits = smoke ? 32 : 80;
+
+  std::vector<Result> wan;
+  for (uint64_t w : windows) wan.push_back(RunWanPbft(w, wan_commits));
+  PrintRows("A. wide-area PBFT (one replica per Table-I site, f=1)", wan);
+
+  std::vector<Result> geo;
+  for (uint64_t w : windows) geo.push_back(RunGeoCommit(w, geo_commits));
+  PrintRows("B. geo-correlated commit (California, f_i=1, f_g=1)", geo);
+
+  std::ofstream out(out_path);
+  out << "{\n  \"wan_pbft\": ";
+  PutResults(out, wan);
+  out << ",\n  \"geo_commit\": ";
+  PutResults(out, geo);
+  out << "\n}\n";
+  out.close();
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  // Regression gate: the window-8 pipeline must beat stop-and-wait. The
+  // full sweep additionally expects >= 4x on the WAN PBFT experiment.
+  auto thpt = [](const std::vector<Result>& rs, uint64_t w) {
+    for (const Result& r : rs) {
+      if (r.window == w) return r.throughput_per_sec;
+    }
+    return 0.0;
+  };
+  bool ok = thpt(wan, 8) > thpt(wan, 1) && thpt(geo, 8) > thpt(geo, 1);
+  if (!smoke) ok = ok && thpt(wan, 8) >= 4.0 * thpt(wan, 1);
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FAIL: window-8 pipeline did not outperform window 1\n");
+    return 1;
+  }
+  std::printf("pipeline speedup gate passed (w8/w1: wan %.2fx, geo %.2fx)\n",
+              thpt(wan, 8) / thpt(wan, 1), thpt(geo, 8) / thpt(geo, 1));
+  return 0;
+}

@@ -7,17 +7,22 @@
 #      cross-site send through the full pipeline and archives every
 #      registered counter group as build/METRICS_dump.json (validated as
 #      JSON when python3 is available).
-#   3. Static analysis: clang-tidy (bugprone-*, performance-*) over
+#   3. Pipeline smoke: bench_pipeline --smoke compares window 1 vs 8 on
+#      the Table-I WAN matrix and fails unless window 8 is strictly
+#      faster (the DESIGN.md §9 pipelining regression gate). Any
+#      BENCH_*.json produced under build/ is copied to the repo root so
+#      results are versioned alongside the code.
+#   4. Static analysis: clang-tidy (bugprone-*, performance-*) over
 #      src/ using the compile database — skipped with a notice when
 #      clang-tidy is not installed.
-#   4. The same suite under ASan+UBSan in a separate Debug build tree
+#   5. The same suite under ASan+UBSan in a separate Debug build tree
 #      (build-asan/). The zero-copy payload paths share one allocation
 #      across broadcast fan-out, retransmission buffers, and reorder
 #      buffers — exactly the kind of lifetime bug a sanitizer catches and
 #      a passing test hides.
 #
 # Usage: scripts/check.sh [--fast]
-#   --fast  skip the clang-tidy and sanitizer passes (passes 1–2 only).
+#   --fast  skip the clang-tidy and sanitizer passes (passes 1–3 only).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -39,12 +44,22 @@ if command -v python3 >/dev/null 2>&1; then
 fi
 echo "metrics snapshot OK (build/METRICS_dump.json)"
 
+echo "=== pass 3: pipeline smoke (window 1 vs 8) ==="
+build/bench/bench_pipeline --smoke --out=build/BENCH_pipeline.json
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json,sys; json.load(open('build/BENCH_pipeline.json'))" \
+    || { echo "BENCH_pipeline.json is not valid JSON"; exit 1; }
+fi
+# Version bench results alongside the code.
+cp build/BENCH_*.json . 2>/dev/null || true
+echo "pipeline smoke OK (BENCH_pipeline.json)"
+
 if [[ "$FAST" == "1" ]]; then
   echo "=== --fast: skipping clang-tidy and sanitizer passes ==="
   exit 0
 fi
 
-echo "=== pass 3: clang-tidy (bugprone-*, performance-*) ==="
+echo "=== pass 4: clang-tidy (bugprone-*, performance-*) ==="
 if command -v clang-tidy >/dev/null 2>&1; then
   mapfile -t TIDY_SOURCES < <(find src -name '*.cc' | sort)
   clang-tidy -p build \
@@ -57,7 +72,7 @@ else
   echo "clang-tidy not installed; skipping static analysis pass"
 fi
 
-echo "=== pass 4: ASan+UBSan build + tests ==="
+echo "=== pass 5: ASan+UBSan build + tests ==="
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \

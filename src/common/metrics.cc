@@ -18,6 +18,11 @@ TransportStats& transport_stats() {
   return stats;
 }
 
+PipelineStats& pipeline_stats() {
+  static PipelineStats stats;
+  return stats;
+}
+
 // --- MetricsRegistry ---------------------------------------------------------
 
 MetricsRegistry::MetricsRegistry() {
@@ -49,6 +54,22 @@ MetricsRegistry::MetricsRegistry() {
         };
       },
       []() { transport_stats().Reset(); });
+  Register(
+      "pipeline",
+      []() {
+        const PipelineStats& s = pipeline_stats();
+        return std::map<std::string, int64_t>{
+            {"pbft_proposals", s.pbft_proposals},
+            {"pbft_inflight_peak", s.pbft_inflight_peak},
+            {"pbft_admission_rejects", s.pbft_admission_rejects},
+            {"pbft_window_stalls", s.pbft_window_stalls},
+            {"pbft_ooo_commits", s.pbft_ooo_commits},
+            {"participant_inflight_peak", s.participant_inflight_peak},
+            {"participant_ooo_completions", s.participant_ooo_completions},
+            {"batcher_inflight_peak", s.batcher_inflight_peak},
+        };
+      },
+      []() { pipeline_stats().Reset(); });
 }
 
 int64_t MetricsRegistry::Register(std::string name, SnapshotFn snapshot,

@@ -111,6 +111,39 @@ struct TransportStats {
 /// The process-wide transport counter block.
 TransportStats& transport_stats();
 
+/// Process-wide counters for the sliding-window commit pipeline (pipelined
+/// PBFT + windowed geo-commit + batcher k-in-flight; DESIGN.md §9). Like the
+/// other stat blocks these are observability-only: nothing reads them to make
+/// protocol decisions, so they cannot perturb determinism.
+struct PipelineStats {
+  /// Pre-prepares sent by unit leaders (each is one pipelined instance).
+  int64_t pbft_proposals = 0;
+  /// Peak number of concurrently outstanding (proposed-but-unexecuted)
+  /// PBFT instances observed at any leader.
+  int64_t pbft_inflight_peak = 0;
+  /// Values the leader-side admission projection rejected at propose time
+  /// (these are dropped, mirroring the seed's propose-time verifier drops).
+  int64_t pbft_admission_rejects = 0;
+  /// Times a leader had a queued value but could not propose because the
+  /// window was full or the high watermark (checkpoint lag) was reached.
+  int64_t pbft_window_stalls = 0;
+  /// Commit certificates that completed out of sequence order and had to
+  /// wait for an earlier instance before executing.
+  int64_t pbft_ooo_commits = 0;
+  /// Peak number of concurrently in-flight participant geo ops.
+  int64_t participant_inflight_peak = 0;
+  /// Ops whose completion callback was held back to preserve submission
+  /// order (the geo round finished before an earlier op's round).
+  int64_t participant_ooo_completions = 0;
+  /// Peak number of concurrently in-flight batcher group commits.
+  int64_t batcher_inflight_peak = 0;
+
+  void Reset() { *this = PipelineStats{}; }
+};
+
+/// The process-wide pipeline counter block.
+PipelineStats& pipeline_stats();
+
 /// Named counters, useful for asserting message complexity in tests
 /// (e.g. "wide-area messages sent").
 class CounterSet {

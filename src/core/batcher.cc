@@ -1,5 +1,9 @@
 #include "core/batcher.h"
 
+#include <algorithm>
+
+#include "common/metrics.h"
+
 namespace blockplane::core {
 
 Batcher::Batcher(Participant* participant, sim::Simulator* simulator,
@@ -7,7 +11,12 @@ Batcher::Batcher(Participant* participant, sim::Simulator* simulator,
     : participant_(participant),
       sim_(simulator),
       options_(options),
-      routine_id_(routine_id) {}
+      routine_id_(routine_id) {
+  size_t configured = options_.max_in_flight != 0
+                          ? options_.max_in_flight
+                          : participant_->options().batcher_in_flight;
+  max_in_flight_ = std::max<size_t>(1, configured);
+}
 
 Batcher::~Batcher() { sim_->Cancel(delay_timer_); }
 
@@ -22,6 +31,13 @@ Status Batcher::DecodeBatch(const Bytes& payload, std::vector<Bytes>* ops) {
   Decoder dec(payload);
   uint64_t count = 0;
   BP_RETURN_NOT_OK(dec.GetVarint(&count));
+  // Every operation costs at least one payload byte (its length varint), so
+  // a count exceeding the remaining bytes cannot be satisfied. Reject it
+  // before reserve() turns an attacker-chosen varint into an attacker-chosen
+  // allocation.
+  if (count > dec.remaining()) {
+    return Status::Corruption("batch count exceeds payload");
+  }
   if (count > 1000000) return Status::Corruption("oversized batch");
   ops->clear();
   ops->reserve(count);
@@ -52,13 +68,18 @@ void Batcher::Add(Bytes op, OpCallback done) {
 void Batcher::Flush() { MaybeFlush(); }
 
 void Batcher::MaybeFlush() {
-  // Group commit: one batch at a time; the rest waits its turn.
-  if (batch_in_flight_ || pending_.empty()) return;
-  CommitBatch();
+  // Group commit: at most max_in_flight_ batches at a time (1 reproduces
+  // the paper's rule); the rest waits its turn.
+  while (batches_in_flight_ < max_in_flight_ && !pending_.empty()) {
+    CommitBatch();
+  }
 }
 
 void Batcher::CommitBatch() {
-  batch_in_flight_ = true;
+  ++batches_in_flight_;
+  auto& stats = pipeline_stats();
+  stats.batcher_inflight_peak =
+      std::max<uint64_t>(stats.batcher_inflight_peak, batches_in_flight_);
   sim_->Cancel(delay_timer_);
   delay_timer_ = sim::kInvalidEventId;
 
@@ -82,7 +103,7 @@ void Batcher::CommitBatch() {
         for (size_t i = 0; i < callbacks.size(); ++i) {
           if (callbacks[i]) callbacks[i](pos, static_cast<uint32_t>(i));
         }
-        batch_in_flight_ = false;
+        --batches_in_flight_;
         MaybeFlush();
       });
 }

@@ -43,11 +43,15 @@ BlockplaneNode::BlockplaneNode(net::Network* network, crypto::KeyStore* keys,
   group.view_timeout = options_.local_view_timeout;
   group.client_retry = options_.local_client_retry;
   group.checkpoint_interval = options_.checkpoint_interval;
+  group.window = options_.pbft_window;
   replica_ = std::make_unique<pbft::PbftReplica>(
       network_, keys_, std::move(group), self_,
       [this](uint64_t seq, const Bytes& value) { OnExecute(seq, value); });
   replica_->SetVerifier(
       [this](const Bytes& value) { return VerifyValue(value); });
+  replica_->SetAdmission(
+      [this](const Bytes& value) { return AdmitValue(value); },
+      [this]() { ResetAdmission(); });
   replica_->SetSnapshotCallback([this](const pbft::SnapshotMsg& snapshot) {
     OnSnapshotCertificate(snapshot);
   });
@@ -219,7 +223,78 @@ bool BlockplaneNode::VerifyValue(const Bytes& value) {
   return true;
 }
 
+bool BlockplaneNode::AdmitValue(const Bytes& value) {
+  // Floor the projection at applied state: values can commit and execute
+  // through paths the projection never saw (catch-up entries, terms under
+  // other leaders), so the projection must never lag reality.
+  adm_api_count_ = std::max(adm_api_count_, api_record_count_);
+  adm_mirror_high_ = std::max(adm_mirror_high_, mirror_high_pos_);
+  for (const auto& [site, pos] : last_received_pos_) {
+    uint64_t& projected = adm_last_received_[site];
+    projected = std::max(projected, pos);
+  }
+
+  LogRecord record;
+  if (!LogRecord::Decode(value, &record).ok()) return false;
+
+  if (is_mirror()) {
+    if (record.type != RecordType::kMirrored) return false;
+    if (record.geo_pos != adm_mirror_high_ + 1) return false;
+    if (!VerifyMirroredProof(record)) return false;
+    adm_mirror_high_ = record.geo_pos;
+    return true;
+  }
+  switch (record.type) {
+    case RecordType::kMirrored:
+      return false;  // mirrored entries never enter a unit's own log
+    case RecordType::kReceived: {
+      uint64_t& last = adm_last_received_[record.src_site];
+      if (!VerifyReceivedAt(record, last)) return false;
+      last = record.src_log_pos;
+      break;
+    }
+    case RecordType::kLogCommit:
+    case RecordType::kCommunication:
+      // Geo-stream consistency: an API record's geo position must equal the
+      // API-record count its execution will observe, or the unit's
+      // attestations will never match the acting participant's canonicals.
+      // Exact propose-time verification guaranteed this under stop-and-wait;
+      // the projection restores it for window > 1.
+      if (record.geo_pos != 0 && record.geo_pos != adm_api_count_ + 1) {
+        return false;
+      }
+      break;
+  }
+  // The user's verification routine (§III-C), if registered. Note: routines
+  // judge against this node's applied replica state, not the projection —
+  // streams guarded by state-dependent routines should stay at window 1
+  // (DESIGN.md §9).
+  if (record.routine_id != 0) {
+    auto it = verifiers_.find(record.routine_id);
+    if (it != verifiers_.end() && !it->second(record)) return false;
+  }
+  if (record.type == RecordType::kLogCommit ||
+      record.type == RecordType::kCommunication) {
+    ++adm_api_count_;
+  }
+  return true;
+}
+
+void BlockplaneNode::ResetAdmission() {
+  adm_api_count_ = api_record_count_;
+  adm_mirror_high_ = mirror_high_pos_;
+  adm_last_received_.clear();
+  for (const auto& [site, pos] : last_received_pos_) {
+    adm_last_received_[site] = pos;
+  }
+}
+
 bool BlockplaneNode::VerifyReceived(const LogRecord& record) const {
+  return VerifyReceivedAt(record, last_received_pos(record.src_site));
+}
+
+bool BlockplaneNode::VerifyReceivedAt(const LogRecord& record,
+                                      uint64_t last) const {
   // The built-in receive verification routine (§IV-C).
   if (record.dest_site != origin_site_) return false;
   if (record.src_site == origin_site_ || record.src_site < 0) return false;
@@ -236,8 +311,7 @@ bool BlockplaneNode::VerifyReceived(const LogRecord& record) const {
   }
 
   // (2) Not received before, and (3) no earlier unreceived transmission:
-  // the chain pointer must extend our current reception watermark.
-  uint64_t last = last_received_pos(record.src_site);
+  // the chain pointer must extend the reception watermark.
   if (record.src_log_pos <= last) return false;
   if (record.prev_src_log_pos != last) return false;
 
@@ -269,6 +343,10 @@ bool BlockplaneNode::VerifyReceived(const LogRecord& record) const {
 
 bool BlockplaneNode::VerifyMirrored(const LogRecord& record) const {
   if (record.geo_pos != mirror_high_pos_ + 1) return false;
+  return VerifyMirroredProof(record);
+}
+
+bool BlockplaneNode::VerifyMirroredProof(const LogRecord& record) const {
   LogRecord inner;
   if (!LogRecord::Decode(record.payload, &inner).ok()) return false;
   if (!options_.sign_messages) return true;
@@ -332,7 +410,10 @@ void BlockplaneNode::ApplyValue(uint64_t seq, const Bytes& value) {
       break;
     }
     case RecordType::kReceived: {
-      last_received_pos_[record.src_site] = record.src_log_pos;
+      // Monotonic: a synced or caught-up log can replay records whose
+      // source positions are below an already-advanced watermark.
+      uint64_t& watermark = last_received_pos_[record.src_site];
+      watermark = std::max(watermark, record.src_log_pos);
       {
         Tracer& tr = tracer();
         if (tr.enabled()) {

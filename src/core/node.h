@@ -126,6 +126,15 @@ class BlockplaneNode : public net::Host {
 
   // -- PBFT hooks --
   bool VerifyValue(const Bytes& value);
+  /// Leader-side admission check for the pipelined proposal window
+  /// (DESIGN.md §9): judges a candidate value against a *projected* state
+  /// that assumes every earlier admitted value commits, and advances the
+  /// projection on success. At window 1 this degenerates to VerifyValue.
+  bool AdmitValue(const Bytes& value);
+  /// Re-bases the admission projection on applied state (called by the
+  /// replica on view entry / checkpoint install before replaying the
+  /// in-flight values through AdmitValue).
+  void ResetAdmission();
   void OnExecute(uint64_t seq, const Bytes& value);
   /// Applies a committed value to this node's Local Log copy and derived
   /// state (used by both normal execution and log sync).
@@ -139,8 +148,14 @@ class BlockplaneNode : public net::Host {
 
   /// The built-in receive verification routine (§IV-C).
   bool VerifyReceived(const LogRecord& record) const;
+  /// VerifyReceived with an explicit reception watermark, so the admission
+  /// projection can run the same checks against projected state.
+  bool VerifyReceivedAt(const LogRecord& record, uint64_t last) const;
   /// Verification for mirror-log entries (§V).
   bool VerifyMirrored(const LogRecord& record) const;
+  /// The stateless (proof-only) part of VerifyMirrored, shared with the
+  /// admission projection.
+  bool VerifyMirroredProof(const LogRecord& record) const;
   /// Position of the last communication record to `dest` before `pos`.
   uint64_t PrevCommPos(net::SiteId dest, uint64_t pos) const;
 
@@ -177,6 +192,15 @@ class BlockplaneNode : public net::Host {
   /// the geo-replication stream position of the latest API record.
   uint64_t api_record_count_ = 0;
   std::unordered_map<uint64_t, uint64_t> api_pos_by_log_pos_;
+
+  /// Leader-side admission projection (DESIGN.md §9): what the applied
+  /// state will look like once every admitted-but-unexecuted value commits.
+  /// Floored at applied state on every admission (values can commit through
+  /// paths the projection never saw, e.g. catch-up or other leaders' terms)
+  /// and re-based by ResetAdmission on view entry / checkpoint install.
+  uint64_t adm_api_count_ = 0;
+  uint64_t adm_mirror_high_ = 0;
+  std::unordered_map<net::SiteId, uint64_t> adm_last_received_;
 
   /// Mirror role: high watermark of the mirror log and the digest of each
   /// mirrored entry (for re-acks and attestations).

@@ -39,6 +39,21 @@ struct BlockplaneOptions {
   /// the replicate round.
   sim::SimTime geo_retry = sim::Milliseconds(400);
 
+  /// Sliding-window pipelining knobs (DESIGN.md §9). The defaults (all 1)
+  /// reproduce the paper's stop-and-wait behaviour exactly; larger values
+  /// pipeline the corresponding layer while keeping application-visible
+  /// semantics (in-order execution, in-order completion callbacks).
+  ///
+  /// Concurrently outstanding PBFT proposals per unit/mirror leader.
+  uint64_t pbft_window = 1;
+  /// Concurrently in-flight geo ops per participant (local commits, geo
+  /// rounds, and mirror acks proceed concurrently keyed by geo position;
+  /// completion callbacks still fire in submission order).
+  uint64_t participant_window = 1;
+  /// Concurrently in-flight group-commit batches per Batcher. 1 preserves
+  /// the paper's §VI-C group-commit rule.
+  size_t batcher_in_flight = 1;
+
   /// Bench-mode switches mirroring the paper's prototype, which "does not
   /// implement creating and checking signatures and digests".
   bool hash_payloads = true;

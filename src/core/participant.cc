@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/trace.h"
 
 namespace blockplane::core {
@@ -48,7 +49,7 @@ Participant::Participant(net::Network* network, crypto::KeyStore* keys,
 }
 
 Participant::~Participant() {
-  if (geo_round_) sim_->Cancel(geo_round_->retry_timer);
+  for (auto& [geo_pos, round] : geo_rounds_) sim_->Cancel(round->retry_timer);
   sim_->Cancel(mirror_op_timer_);
   for (auto& [read_id, pending] : reads_) sim_->Cancel(pending.retry_timer);
   network_->Unregister(self_);
@@ -134,66 +135,109 @@ void Participant::EnqueueOp(ApiOp op) {
         trace);
     return;
   }
+  op.enqueued = sim_->Now();
   ops_.push_back(std::move(op));
-  RunNextOp();
+  PumpOps();
 }
 
-void Participant::RunNextOp() {
-  if (op_in_flight_ || ops_.empty()) return;
-  op_in_flight_ = true;
-  ApiOp& op = ops_.front();
-  if (op.mirror_origin >= 0) {
-    StartMirrorOp();
-    return;
-  }
-  if (options_.fg > 0) op.record.geo_pos = geo_seq_ + 1;
-  client_->Submit(op.record.Encode(),
-                  [this](uint64_t pos) { OnLocalCommitted(pos); }, op.trace);
-}
-
-void Participant::OnLocalCommitted(uint64_t pos) {
-  BP_CHECK(!ops_.empty());
-  {
-    ApiOp& op = ops_.front();
-    Tracer& tr = tracer();
-    if (tr.enabled() && op.trace != kNoTrace) {
-      tr.Mark(op.trace, "local_committed", sim_->Now());
-      if (op.record.type == RecordType::kCommunication) {
-        tr.BindCommRecord(site_, pos, op.trace);
-      }
+void Participant::PumpOps() {
+  while (!ops_.empty()) {
+    if (mirror_op_active_) return;  // mirror ops run exclusively
+    if (ops_.front().mirror_origin >= 0) {
+      // A MirrorCommit reconciles and extends *another* participant's
+      // stream; interleaving it with own-stream rounds would entangle two
+      // position spaces. Wait for the window to drain, then run it alone.
+      if (!inflight_.empty()) return;
+      mirror_op_active_ = true;
+      InflightOp rec;
+      rec.op = std::move(ops_.front());
+      ops_.pop_front();
+      inflight_.push_back(std::move(rec));
+      StartMirrorOp();
+      return;
     }
-  }
-  if (options_.fg == 0) {
-    ApiOp op = std::move(ops_.front());
+    uint64_t window = std::max<uint64_t>(1, options_.participant_window);
+    if (inflight_.size() >= window) return;
+
+    InflightOp rec;
+    rec.op = std::move(ops_.front());
     ops_.pop_front();
-    op_in_flight_ = false;
+    if (options_.fg > 0) {
+      // Own-stream geo position: assigned at submission so up to `window`
+      // rounds can proceed concurrently, each keyed by its position.
+      geo_assign_ = std::max(geo_assign_, geo_seq_);
+      rec.op.record.geo_pos = ++geo_assign_;
+    }
+    uint64_t geo_pos = rec.op.record.geo_pos;
+    TraceId trace = rec.op.trace;
+    sim::SimTime enqueued = rec.op.enqueued;
+    Bytes encoded = rec.op.record.Encode();
+    inflight_.push_back(std::move(rec));
+    PipelineStats& ps = pipeline_stats();
+    ps.participant_inflight_peak =
+        std::max(ps.participant_inflight_peak,
+                 static_cast<int64_t>(inflight_.size()));
+    Tracer& tr = tracer();
+    if (tr.enabled() && trace != kNoTrace && enqueued != 0 &&
+        sim_->Now() > enqueued) {
+      // Queue-wait vs in-flight: how long the op sat behind a full window.
+      tr.Span(trace, "queue_wait", "pipeline", enqueued, sim_->Now(), site_,
+              self_.index, geo_pos);
+    }
+    client_->Submit(
+        std::move(encoded),
+        [this, geo_pos](uint64_t pos) { OnLocalCommitted(geo_pos, pos); },
+        trace);
+  }
+}
+
+void Participant::DrainFinished() {
+  while (!inflight_.empty() && inflight_.front().finished) {
+    InflightOp rec = std::move(inflight_.front());
+    inflight_.pop_front();
     ++commits_completed_;
     Tracer& tr = tracer();
-    if (tr.enabled() && op.trace != kNoTrace) {
-      tr.Mark(op.trace, "done", sim_->Now());
+    if (tr.enabled() && rec.op.trace != kNoTrace) {
+      tr.Mark(rec.op.trace, "done", sim_->Now());
     }
-    if (op.done) op.done(pos);
-    RunNextOp();
+    if (rec.op.done) rec.op.done(rec.result_pos);
+  }
+}
+
+void Participant::OnLocalCommitted(uint64_t geo_pos, uint64_t unit_pos) {
+  for (InflightOp& rec : inflight_) {
+    if (rec.op.mirror_origin >= 0 || rec.op.record.geo_pos != geo_pos ||
+        rec.finished) {
+      continue;
+    }
+    Tracer& tr = tracer();
+    if (tr.enabled() && rec.op.trace != kNoTrace) {
+      tr.Mark(rec.op.trace, "local_committed", sim_->Now());
+      if (rec.op.record.type == RecordType::kCommunication) {
+        tr.BindCommRecord(site_, unit_pos, rec.op.trace);
+      }
+    }
+    StartGeoRound(rec.op, unit_pos);
     return;
   }
-  StartGeoRound(pos);
 }
 
 // --- geo-correlated commits (§V) ---------------------------------------------------
 
-void Participant::StartGeoRound(uint64_t unit_pos) {
-  const ApiOp& op = ops_.front();
-  geo_round_ = std::make_unique<GeoRound>();
-  geo_round_->unit_pos = unit_pos;
-  geo_round_->geo_pos = op.record.geo_pos;
-  geo_round_->origin = site_;
-  geo_round_->record_encoded = op.record.Encode();
-  geo_round_->digest = crypto::Sha256Digest(geo_round_->record_encoded);
-  geo_round_->targets = mirror_sites_;
-  geo_round_->is_communication =
-      op.record.type == RecordType::kCommunication;
-  geo_round_->trace = op.trace;
-  geo_round_->ts_local = sim_->Now();
+void Participant::StartGeoRound(const ApiOp& op, uint64_t unit_pos) {
+  auto owned = std::make_unique<GeoRound>();
+  GeoRound& round = *owned;
+  round.unit_pos = unit_pos;
+  round.geo_pos = op.record.geo_pos;
+  round.origin = site_;
+  round.record_encoded = op.record.Encode();
+  round.digest = crypto::Sha256Digest(round.record_encoded);
+  round.targets = mirror_sites_;
+  round.is_communication = op.record.type == RecordType::kCommunication;
+  round.trace = op.trace;
+  round.ts_local = sim_->Now();
+  uint64_t geo_pos = round.geo_pos;
+  geo_rounds_[geo_pos] = std::move(owned);
 
   // Collect f_i+1 attestations from the unit, then replicate.
   AttestRequestMsg request;
@@ -203,20 +247,30 @@ void Participant::StartGeoRound(uint64_t unit_pos) {
   for (const net::NodeId& node : unit_group_.nodes) {
     SendTo(node, kAttestRequest, Bytes(encoded));
   }
-  geo_round_->retry_timer =
-      sim_->Schedule(options_.geo_retry, [this]() { ReplicateRound(); });
+  round.retry_timer = sim_->Schedule(
+      options_.geo_retry, [this, geo_pos]() { ReplicateRound(geo_pos); });
 }
 
 void Participant::OnAttestResponse(const net::Message& msg) {
-  if (!geo_round_) return;
+  if (geo_rounds_.empty()) return;
   AttestResponseMsg response;
   if (!AttestResponseMsg::Decode(msg.body(), &response).ok()) return;
   if (response.purpose != AttestPurpose::kGeoSource) return;
   if (response.sig.signer != msg.src) return;
-  GeoRound& round = *geo_round_;
-  // A late response from an earlier round must not count toward this one.
-  uint64_t expected_pos = round.unit_pos != 0 ? round.unit_pos : round.geo_pos;
-  if (response.pos != expected_pos) return;
+  // Dispatch to the round this response answers: attest requests carry the
+  // unit log position (own-stream rounds) or the geo position (mirror
+  // rounds). A late response from a finished round matches nothing.
+  GeoRound* found = nullptr;
+  for (auto& [key, owned] : geo_rounds_) {
+    uint64_t expected = owned->unit_pos != 0 ? owned->unit_pos
+                                             : owned->geo_pos;
+    if (expected == response.pos) {
+      found = owned.get();
+      break;
+    }
+  }
+  if (found == nullptr) return;
+  GeoRound& round = *found;
   if (static_cast<int>(round.source_sigs.size()) >= options_.fi + 1) return;
   if (options_.sign_messages) {
     Bytes canonical = AttestCanonical(AttestPurpose::kGeoSource, site_,
@@ -233,16 +287,17 @@ void Participant::OnAttestResponse(const net::Message& msg) {
     if (tr.enabled() && round.trace != kNoTrace) {
       tr.Mark(round.trace, "attested", round.ts_attested);
     }
-    ReplicateRound();
+    ReplicateRound(round.geo_pos);
   }
 }
 
-void Participant::ReplicateRound() {
-  if (!geo_round_) return;
-  GeoRound& round = *geo_round_;
+void Participant::ReplicateRound(uint64_t geo_pos) {
+  auto it = geo_rounds_.find(geo_pos);
+  if (it == geo_rounds_.end()) return;
+  GeoRound& round = *it->second;
   sim_->Cancel(round.retry_timer);
-  round.retry_timer =
-      sim_->Schedule(options_.geo_retry, [this]() { ReplicateRound(); });
+  round.retry_timer = sim_->Schedule(
+      options_.geo_retry, [this, geo_pos]() { ReplicateRound(geo_pos); });
 
   if (static_cast<int>(round.source_sigs.size()) < options_.fi + 1) {
     // Still collecting attestations: re-ask (covers lost responses).
@@ -279,11 +334,11 @@ void Participant::ReplicateRound() {
 }
 
 void Participant::OnGeoAck(const net::Message& msg) {
-  if (!geo_round_) return;
   GeoAckMsg ack;
   if (!GeoAckMsg::Decode(msg.body(), &ack).ok()) return;
-  GeoRound& round = *geo_round_;
-  if (ack.geo_pos != round.geo_pos) return;
+  auto it = geo_rounds_.find(ack.geo_pos);
+  if (it == geo_rounds_.end()) return;
+  GeoRound& round = *it->second;
   if (ack.sig.signer != msg.src) return;
   net::SiteId target = msg.src.site;
   if (std::find(round.targets.begin(), round.targets.end(), target) ==
@@ -304,12 +359,14 @@ void Participant::OnGeoAck(const net::Message& msg) {
   // f_i+1 nodes of this mirror participant attested: the site holds it.
   round.ack_sigs[target] = round.ack_sigs_partial[target];
   int proven = static_cast<int>(round.ack_sigs.size());
-  if (proven >= options_.fg) FinishGeoRound();
+  if (proven >= options_.fg) FinishGeoRound(round.geo_pos);
 }
 
-void Participant::FinishGeoRound() {
-  GeoRound round = std::move(*geo_round_);
-  geo_round_.reset();
+void Participant::FinishGeoRound(uint64_t geo_pos) {
+  auto it = geo_rounds_.find(geo_pos);
+  BP_CHECK(it != geo_rounds_.end());
+  GeoRound round = std::move(*it->second);
+  geo_rounds_.erase(it);
   sim_->Cancel(round.retry_timer);
 
   if (round.is_communication) {
@@ -326,25 +383,23 @@ void Participant::FinishGeoRound() {
     }
   }
 
-  if (round.unit_pos == 0) {
+  bool is_mirror_round = round.unit_pos == 0;
+  if (is_mirror_round) {
     // A mirror-acting commit: remember the stream position so subsequent
     // commits skip the reconciliation round.
     acting_high_[round.origin] = round.geo_pos;
+    mirror_op_active_ = false;
   } else {
-    geo_seq_ = round.geo_pos;
+    geo_seq_ = std::max(geo_seq_, round.geo_pos);
   }
-  ApiOp op = std::move(ops_.front());
-  ops_.pop_front();
-  op_in_flight_ = false;
-  ++commits_completed_;
   Tracer& tr = tracer();
   if (tr.enabled() && round.trace != kNoTrace) {
     sim::SimTime now = sim_->Now();
     tr.Mark(round.trace, "mirrored", now);
-    tr.Mark(round.trace, "done", now);
     // Phase spans on the participant's track: attestation gathering and
     // the WAN mirror round. Together with the PBFT "request" span they
-    // decompose the end-to-end commit latency.
+    // decompose the end-to-end commit latency. (The "done" mark is added
+    // when the op drains in submission order — same instant at window 1.)
     if (round.ts_attested >= round.ts_local && round.ts_attested > 0) {
       tr.Span(round.trace, "attest", "geo", round.ts_local,
               round.ts_attested, site_, self_.index, round.geo_pos);
@@ -352,16 +407,29 @@ void Participant::FinishGeoRound() {
               site_, self_.index, round.geo_pos);
     }
   }
-  if (op.done) {
-    op.done(round.unit_pos != 0 ? round.unit_pos : round.geo_pos);
+  // Mark the owning op finished; its callback fires only once every
+  // earlier-submitted op finished too (in-order completion).
+  for (size_t i = 0; i < inflight_.size(); ++i) {
+    InflightOp& rec = inflight_[i];
+    bool match = is_mirror_round
+                     ? rec.op.mirror_origin >= 0
+                     : (rec.op.mirror_origin < 0 &&
+                        rec.op.record.geo_pos == round.geo_pos);
+    if (!match || rec.finished) continue;
+    rec.finished = true;
+    rec.result_pos = round.unit_pos != 0 ? round.unit_pos : round.geo_pos;
+    if (i > 0) pipeline_stats().participant_ooo_completions++;
+    break;
   }
-  RunNextOp();
+  DrainFinished();
+  PumpOps();
 }
 
 // --- mirror-acting commits (failover) ------------------------------------------------
 
 void Participant::StartMirrorOp() {
-  const ApiOp& op = ops_.front();
+  BP_CHECK(mirror_op_active_ && !inflight_.empty());
+  const ApiOp& op = inflight_.front().op;
   // Already acting for this origin: continue the stream directly.
   auto acting = acting_high_.find(op.mirror_origin);
   if (acting != acting_high_.end()) {
@@ -409,7 +477,7 @@ uint64_t AttestedHigh(const std::map<net::NodeId, uint64_t>& replies,
 }  // namespace
 
 void Participant::OnRecvStatusReply(const net::Message& msg) {
-  if (mirror_status_origin_ < 0 || !op_in_flight_) return;
+  if (mirror_status_origin_ < 0 || !mirror_op_active_) return;
   RecvStatusReplyMsg reply;
   if (!RecvStatusReplyMsg::Decode(msg.body(), &reply).ok()) return;
   if (reply.src_site != mirror_status_origin_) return;
@@ -505,7 +573,8 @@ void Participant::CommitMirrorRecord(net::SiteId origin, uint64_t geo_pos) {
   mirror_status_.clear();
   mirror_status_origin_ = -1;
 
-  ApiOp& op = ops_.front();
+  BP_CHECK(mirror_op_active_ && !inflight_.empty());
+  ApiOp& op = inflight_.front().op;
   op.record.geo_pos = geo_pos;
   Bytes inner = op.record.Encode();
   crypto::Digest digest = crypto::Sha256Digest(inner);
@@ -528,8 +597,8 @@ void Participant::CommitMirrorRecord(net::SiteId origin, uint64_t geo_pos) {
         if (tr.enabled() && trace != kNoTrace) {
           tr.Mark(trace, "local_committed", sim_->Now());
         }
-        geo_round_ = std::make_unique<GeoRound>();
-        GeoRound& round = *geo_round_;
+        auto owned = std::make_unique<GeoRound>();
+        GeoRound& round = *owned;
         round.unit_pos = 0;
         round.geo_pos = geo_pos;
         round.origin = origin;
@@ -549,8 +618,9 @@ void Participant::CommitMirrorRecord(net::SiteId origin, uint64_t geo_pos) {
           SendTo(MirrorNodeId(site_, origin, i), kAttestRequest,
                  Bytes(encoded));
         }
-        round.retry_timer = sim_->Schedule(options_.geo_retry,
-                                           [this]() { ReplicateRound(); });
+        round.retry_timer = sim_->Schedule(
+            options_.geo_retry, [this, geo_pos]() { ReplicateRound(geo_pos); });
+        geo_rounds_[geo_pos] = std::move(owned);
       },
       trace);
 }

@@ -89,6 +89,7 @@ class Participant : public net::Host {
 
   net::SiteId site() const { return site_; }
   uint64_t commits_completed() const { return commits_completed_; }
+  const BlockplaneOptions& options() const { return options_; }
 
  private:
   struct GeoRound {
@@ -121,16 +122,33 @@ class Participant : public net::Host {
     /// Trace spanning the whole operation: submit -> local commit ->
     /// attestation -> geo mirror -> done (see common/trace.h).
     TraceId trace = kNoTrace;
+    /// When the op entered the queue (for queue-wait trace spans).
+    sim::SimTime enqueued = 0;
+  };
+
+  /// A submitted op waiting for its geo round (window slot). Completion
+  /// callbacks fire strictly in submission order: a finished op waits in
+  /// this deque until every earlier op finished too (DESIGN.md §9).
+  struct InflightOp {
+    ApiOp op;
+    uint64_t result_pos = 0;
+    bool finished = false;
   };
 
   void EnqueueOp(ApiOp op);
-  void RunNextOp();
-  void OnLocalCommitted(uint64_t pos);
-  void StartGeoRound(uint64_t unit_pos);
-  void ReplicateRound();
+  /// Starts queued ops while the in-flight window has room (mirror ops run
+  /// exclusively: they wait for the window to drain and block it while
+  /// active).
+  void PumpOps();
+  /// Fires completion callbacks for the maximal finished prefix of
+  /// `inflight_`, preserving submission order.
+  void DrainFinished();
+  void OnLocalCommitted(uint64_t geo_pos, uint64_t unit_pos);
+  void StartGeoRound(const ApiOp& op, uint64_t unit_pos);
+  void ReplicateRound(uint64_t geo_pos);
   void OnAttestResponse(const net::Message& msg);
   void OnGeoAck(const net::Message& msg);
-  void FinishGeoRound();
+  void FinishGeoRound(uint64_t geo_pos);
   void OnDeliverNotice(const net::Message& msg);
   void OnRecvStatusReply(const net::Message& msg);
   void OnReadReply(const net::Message& msg);
@@ -154,13 +172,23 @@ class Participant : public net::Host {
   std::map<net::SiteId, std::unique_ptr<pbft::PbftClient>> mirror_clients_;
   std::map<net::SiteId, std::vector<net::SiteId>> mirror_peers_;
 
-  /// Serialized API operations (one commit in flight at a time — the
-  /// paper's group-commit rule; batching happens in the payload).
+  /// Queued API operations not yet submitted (the window was full).
   std::deque<ApiOp> ops_;
-  bool op_in_flight_ = false;
+  /// Submitted ops in submission order, up to `participant_window` of them
+  /// (1 = the paper's group-commit rule; batching happens in the payload).
+  std::deque<InflightOp> inflight_;
+  /// A MirrorCommit reconciliation/commit is active; it runs exclusively.
+  bool mirror_op_active_ = false;
+  /// Highest geo position whose round completed (own stream).
   uint64_t geo_seq_ = 0;
+  /// Highest geo position assigned to a submitted op (own stream); rounds
+  /// for positions (geo_seq_, geo_assign_] are in flight.
+  uint64_t geo_assign_ = 0;
   uint64_t commits_completed_ = 0;
-  std::unique_ptr<GeoRound> geo_round_;
+  /// Concurrent geo rounds keyed by geo position. Mirror-acting rounds use
+  /// the origin's stream positions, but run exclusively (no own-stream
+  /// round coexists), so the key space never collides.
+  std::map<uint64_t, std::unique_ptr<GeoRound>> geo_rounds_;
 
   /// Mirror status collection for MirrorCommit: per site, per node, the
   /// reported mirror-log high position. Before acting as primary, the

@@ -29,6 +29,14 @@ struct PbftConfig {
   /// executed sequence numbers.
   uint64_t checkpoint_interval = 128;
 
+  /// Maximum number of concurrently outstanding (proposed-but-unexecuted)
+  /// instances at the leader — the sliding proposal window. 1 reproduces the
+  /// paper's group-commit rule ("a leader only attempts to commit a single
+  /// batch and does not start the next one until the current one is
+  /// committed"); larger values pipeline consensus instances while execution
+  /// and replies stay strictly in sequence order (DESIGN.md §9).
+  uint64_t window = 1;
+
   /// When false, payload digests use a fast non-cryptographic hash. The
   /// paper's prototype skipped digest creation/checking entirely; benches
   /// use this mode (see DESIGN.md §1).

@@ -177,7 +177,7 @@ void PbftReplica::OnRequest(const net::Message& msg) {
     auto key = std::make_pair(request.client_token, request.req_id);
     if (assigned_requests_.count(key) > 0) return;  // already proposed
     assigned_requests_.insert(key);
-    pending_requests_.push_back({std::move(request), msg.trace_id});
+    pending_requests_.push_back({std::move(request), msg.trace_id, sim_->Now()});
     MaybeProposeNext();
     return;
   }
@@ -205,27 +205,94 @@ void PbftReplica::OnRequest(const net::Message& msg) {
   watched_requests_[key] = timer;
 }
 
+uint64_t PbftReplica::HighWatermark() const {
+  // Keep the un-truncated log bounded: never run more than two checkpoint
+  // intervals (or two windows, whichever is larger) past the last stable
+  // checkpoint. At window 1 this is never the binding constraint.
+  uint64_t span = std::max<uint64_t>(2 * config_.checkpoint_interval,
+                                     2 * config_.window);
+  return last_stable_ + span;
+}
+
+bool PbftReplica::AdmitValue(const Bytes& value) {
+  if (byzantine_ == ByzantineMode::kRejectVerification) return false;
+  if (value.empty()) return true;  // no-op gap filler
+  if (admission_) return admission_(value);
+  if (verifier_) return verifier_(value);
+  return true;
+}
+
+void PbftReplica::RebuildAdmissionProjection(
+    const std::map<uint64_t, const Bytes*>& extra) {
+  if (!admission_) return;
+  if (admission_reset_) admission_reset_();
+  // Replay every value that is decided (committed instance) or carried over
+  // (prepared proof from a view change) but not yet executed, in sequence
+  // order, so fresh admissions are judged against the state the log will
+  // reach once the in-flight window drains. Admission verdicts are ignored
+  // here: these values are already fixed in the log.
+  uint64_t max_seq = extra.empty() ? 0 : extra.rbegin()->first;
+  if (!instances_.empty()) {
+    max_seq = std::max(max_seq, instances_.rbegin()->first);
+  }
+  for (uint64_t seq = last_executed_ + 1; seq <= max_seq; ++seq) {
+    const Bytes* value = nullptr;
+    auto ei = extra.find(seq);
+    if (ei != extra.end()) {
+      value = ei->second;
+    } else {
+      auto ii = instances_.find(seq);
+      if (ii != instances_.end() && ii->second.committed) {
+        value = &ii->second.value;
+      }
+    }
+    if (value != nullptr && !value->empty()) admission_(*value);
+  }
+}
+
 void PbftReplica::MaybeProposeNext() {
-  if (!IsLeader() || in_view_change_ || proposal_outstanding_) return;
+  if (!IsLeader() || in_view_change_) return;
+  if (next_seq_ <= last_executed_) next_seq_ = last_executed_ + 1;
   while (!pending_requests_.empty()) {
+    // Sliding window: at most `window` proposed-but-unexecuted instances,
+    // and never beyond the high watermark (checkpoint lag bound).
+    uint64_t outstanding = (next_seq_ - 1) - last_executed_;
+    if (outstanding >= config_.window || next_seq_ > HighWatermark()) {
+      pipeline_stats().pbft_window_stalls++;
+      return;
+    }
     PendingRequest pending = std::move(pending_requests_.front());
     RequestMsg& request = pending.request;
     pending_requests_.pop_front();
-    // An honest leader does not propose values its own verification
-    // routine rejects (e.g. a receive that another node already committed);
-    // proposing them would stall the group into a needless view change.
-    if (!RunVerifier(request.value)) continue;
+    // An honest leader does not propose values its admission check rejects
+    // (e.g. a receive that another node already committed); proposing them
+    // would stall the group into a needless view change. With window > 1
+    // the check runs against the projected state (DESIGN.md §9).
+    if (!AdmitValue(request.value)) {
+      pipeline_stats().pbft_admission_rejects++;
+      continue;
+    }
     Propose(request.client_token, request.req_id, std::move(request.value),
-            pending.trace_id);
-    return;
+            pending.trace_id, pending.enqueued);
   }
 }
 
 void PbftReplica::Propose(uint64_t client_token, uint64_t req_id,
-                          Bytes value, uint64_t trace_id) {
+                          Bytes value, uint64_t trace_id,
+                          sim::SimTime enqueued) {
   uint64_t seq = next_seq_++;
-  proposal_outstanding_ = true;
-  outstanding_seq_ = seq;
+  PipelineStats& ps = pipeline_stats();
+  ps.pbft_proposals++;
+  int64_t inflight = static_cast<int64_t>((next_seq_ - 1) - last_executed_);
+  ps.pbft_inflight_peak = std::max(ps.pbft_inflight_peak, inflight);
+  Tracer& tr = tracer();
+  if (tr.enabled() && trace_id != 0 && enqueued != 0 &&
+      sim_->Now() > enqueued) {
+    // Queue-wait vs in-flight: how long the request sat behind a full
+    // proposal window before its pre-prepare went out.
+    tr.Span(trace_id, "queue_wait", "pipeline", enqueued, sim_->Now(),
+            self_.site, self_.index, seq);
+  }
 
   PrePrepareMsg pp;
   pp.view = view_;
@@ -274,6 +341,11 @@ void PbftReplica::OnPrePrepare(const net::Message& msg) {
   if (pp.view != view_ || in_view_change_) return;
   if (msg.src != config_.LeaderOf(pp.view)) return;  // only the leader may
   if (pp.seq <= last_stable_) return;
+  // Flood protection: reject sequence numbers far beyond our high
+  // watermark (lax by 2x so an honest leader whose stable checkpoint runs
+  // ahead of ours is never rejected — checkpoint certificates travel on
+  // the same reliable links as pre-prepares).
+  if (pp.seq > HighWatermark() + (HighWatermark() - last_stable_)) return;
   if (!VerifySig(pp.CanonicalHeader(), pp.sig)) return;
   if (pp.sig.signer != msg.src) return;
   if (DigestOf(pp.value) != pp.digest) return;
@@ -425,6 +497,11 @@ void PbftReplica::MaybeCommitted(uint64_t seq) {
   }
   instance.committed = true;
   instance.ts_committed = sim_->Now();
+  if (seq != last_executed_ + 1) {
+    // Certificate completed out of sequence order; execution will hold it
+    // until every earlier instance commits (in-order delivery).
+    pipeline_stats().pbft_ooo_commits++;
+  }
   CancelProgressTimer(&instance);
   ExecuteReady();
 }
@@ -473,9 +550,6 @@ void PbftReplica::ExecuteReady() {
     expected_digests_.erase(seq);
     ++last_executed_;
 
-    if (IsLeader() && proposal_outstanding_ && seq >= outstanding_seq_) {
-      proposal_outstanding_ = false;
-    }
     if (last_executed_ % config_.checkpoint_interval == 0) {
       TakeCheckpoint(last_executed_);
     }
@@ -648,6 +722,9 @@ void PbftReplica::InstallCheckpoint(uint64_t seq, const Digest& digest) {
                       executed_log_.upper_bound(seq));
   checkpoint_votes_.erase(checkpoint_votes_.begin(),
                           checkpoint_votes_.upper_bound(seq));
+  // The fast-forward may have skipped values the admission projection
+  // counted (or never saw); re-base it on the new applied state.
+  if (IsLeader()) RebuildAdmissionProjection({});
   ExecuteReady();
 }
 
@@ -928,9 +1005,22 @@ void PbftReplica::EnterView(uint64_t v, const std::vector<ViewChangeMsg>& vcs) {
   }
 
   if (IsLeader()) {
-    next_seq_ = max_seq + 1;
-    proposal_outstanding_ = false;
+    next_seq_ = std::max(max_seq, last_executed_) + 1;
     assigned_requests_.clear();
+    // Re-base the leader-side admission projection: applied state plus
+    // every decided-or-carried-but-unexecuted value in seq order. Without
+    // this, a retransmitted duplicate of a carried-over request could be
+    // admitted again and stall the group on an unverifiable duplicate.
+    std::map<uint64_t, const Bytes*> carried_values;
+    for (const auto& [seq, proof] : carryover) {
+      carried_values[seq] = &proof.value;
+      // The carried-over requests are already assigned seqs in this view;
+      // retransmissions of them must not be proposed a second time.
+      if (proof.client_token != 0 || proof.req_id != 0) {
+        assigned_requests_.insert({proof.client_token, proof.req_id});
+      }
+    }
+    RebuildAdmissionProjection(carried_values);
     // Re-issue pre-prepares (in the new view) for every carried-over seq.
     for (auto& [seq, proof] : carryover) {
       PrePrepareMsg pp;

@@ -67,6 +67,24 @@ class PbftReplica : public net::Host {
   void HandleMessage(const net::Message& msg) override;
 
   void SetVerifier(Verifier verifier) { verifier_ = std::move(verifier); }
+
+  /// Leader-side admission check for the sliding proposal window. The
+  /// final-mode verifier (SetVerifier) judges values against *applied*
+  /// state, which only matches propose time under stop-and-wait; with
+  /// `config.window > 1` the leader must instead judge new values against a
+  /// *projected* state that assumes every earlier admitted value commits.
+  /// `admit` is called once per admitted value in proposal order (and must
+  /// advance its projection on success); `reset` re-bases the projection on
+  /// applied state. The replica calls `reset` on view entry and checkpoint
+  /// install, then replays all decided-or-carried-but-unexecuted values
+  /// through `admit` in sequence order to rebuild the projection. When no
+  /// admission hook is set the plain verifier is used (seed behaviour,
+  /// sufficient at window 1).
+  using AdmissionCheck = std::function<bool(const Bytes& value)>;
+  void SetAdmission(AdmissionCheck admit, std::function<void()> reset) {
+    admission_ = std::move(admit);
+    admission_reset_ = std::move(reset);
+  }
   void SetByzantineMode(ByzantineMode mode) { byzantine_ = mode; }
 
   net::NodeId self() const { return self_; }
@@ -143,10 +161,12 @@ class PbftReplica : public net::Host {
     sim::SimTime ts_committed = 0;
   };
 
-  /// A client request queued at the leader, with its causal trace.
+  /// A client request queued at the leader, with its causal trace and the
+  /// time it entered the proposal queue (for queue-wait trace spans).
   struct PendingRequest {
     RequestMsg request;
     uint64_t trace_id = 0;
+    sim::SimTime enqueued = 0;
   };
 
   // -- message handlers --
@@ -165,7 +185,20 @@ class PbftReplica : public net::Host {
   // -- leader logic --
   void MaybeProposeNext();
   void Propose(uint64_t client_token, uint64_t req_id, Bytes value,
-               uint64_t trace_id);
+               uint64_t trace_id, sim::SimTime enqueued);
+  /// Highest sequence number a leader may assign: the low watermark
+  /// (last stable checkpoint) plus a span that keeps the un-truncated log
+  /// bounded even when checkpoints lag the window.
+  uint64_t HighWatermark() const;
+  /// Propose-time admission: kRejectVerification parity, empty-value
+  /// passthrough, then the projected-state admission hook (falling back to
+  /// the final-mode verifier when no hook is installed).
+  bool AdmitValue(const Bytes& value);
+  /// Re-bases the admission projection on applied state, then replays every
+  /// decided-or-carried-but-unexecuted value (`extra`, keyed by seq, wins
+  /// over committed instances) through the admission hook in seq order.
+  void RebuildAdmissionProjection(
+      const std::map<uint64_t, const Bytes*>& extra);
 
   // -- phase transitions --
   void MaybePrepared(uint64_t seq);
@@ -223,6 +256,8 @@ class PbftReplica : public net::Host {
   int index_;
   ExecuteCallback execute_;
   Verifier verifier_;
+  AdmissionCheck admission_;
+  std::function<void()> admission_reset_;
   ByzantineMode byzantine_ = ByzantineMode::kNone;
 
   uint64_t view_ = 0;
@@ -230,9 +265,7 @@ class PbftReplica : public net::Host {
   uint64_t target_view_ = 0;
   sim::EventId view_change_timer_ = sim::kInvalidEventId;
 
-  uint64_t next_seq_ = 1;        // leader: next sequence number to assign
-  bool proposal_outstanding_ = false;
-  uint64_t outstanding_seq_ = 0;
+  uint64_t next_seq_ = 1;  // leader: next sequence number to assign
   std::deque<PendingRequest> pending_requests_;
   /// Requests already assigned a sequence number (leader-side dedup).
   std::set<std::pair<uint64_t, uint64_t>> assigned_requests_;

@@ -1,0 +1,246 @@
+// Tests for the sliding-window pipelining of DESIGN.md §9: PBFT proposal
+// windows (out-of-order certificate collection, strict in-order
+// execution), view changes with multiple proposals in flight, byzantine
+// leaders inside the window, and the Participant's windowed geo-commit
+// path (completion callbacks in submission order, contiguous mirror
+// streams).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "core/deployment.h"
+#include "pbft/client.h"
+#include "pbft/replica.h"
+#include "sim/simulator.h"
+
+namespace blockplane {
+namespace {
+
+using net::kCalifornia;
+using net::NodeId;
+using net::Topology;
+using sim::Milliseconds;
+using sim::Seconds;
+
+/// A single-site PBFT group with a configurable proposal window.
+class WindowedPbftHarness {
+ public:
+  WindowedPbftHarness(int f, uint64_t window, uint64_t seed = 7,
+                      net::NetworkOptions net_options = {})
+      : simulator_(seed),
+        network_(&simulator_, Topology::SingleSite(), net_options) {
+    config_ = pbft::UnitConfig(/*site=*/0, f);
+    config_.window = window;
+    config_.checkpoint_interval = 8;  // exercise watermark advancement
+    executed_.resize(config_.nodes.size());
+    for (size_t i = 0; i < config_.nodes.size(); ++i) {
+      auto replica = std::make_unique<pbft::PbftReplica>(
+          &network_, &keys_, config_, config_.nodes[i],
+          [this, i](uint64_t, const Bytes& value) {
+            if (!value.empty()) executed_[i].push_back(ToString(value));
+          });
+      replica->RegisterWithNetwork();
+      replicas_.push_back(std::move(replica));
+    }
+    client_ = std::make_unique<pbft::PbftClient>(&network_, config_,
+                                                 NodeId{0, 1000});
+  }
+
+  /// Submits `count` values concurrently and waits for all completions.
+  bool SubmitBurst(int count, sim::SimTime deadline = Seconds(60)) {
+    for (int i = 0; i < count; ++i) {
+      client_->Submit(ToBytes("v" + std::to_string(i)), nullptr);
+    }
+    return simulator_.RunUntilCondition(
+        [&] { return client_->completed() >= static_cast<uint64_t>(count); },
+        simulator_.Now() + deadline);
+  }
+
+  /// Everything replica `index` executed, in execution order (survives
+  /// checkpoint garbage collection of executed_log(); drops no-op gap
+  /// fillers).
+  const std::vector<std::string>& LogOf(int index) const {
+    return executed_[index];
+  }
+
+  sim::Simulator simulator_;
+  net::Network network_;
+  crypto::KeyStore keys_;
+  pbft::PbftConfig config_;
+  std::vector<std::unique_ptr<pbft::PbftReplica>> replicas_;
+  std::unique_ptr<pbft::PbftClient> client_;
+  std::vector<std::vector<std::string>> executed_;
+};
+
+std::vector<std::string> ExpectedValues(int count) {
+  std::vector<std::string> expected;
+  for (int i = 0; i < count; ++i) expected.push_back("v" + std::to_string(i));
+  return expected;
+}
+
+TEST(PipelineTest, WindowedLeaderKeepsMultipleProposalsInFlight) {
+  pipeline_stats().Reset();
+  WindowedPbftHarness harness(/*f=*/1, /*window=*/4);
+  ASSERT_TRUE(harness.SubmitBurst(12));
+  harness.simulator_.RunFor(Seconds(1));
+  // The pipeline actually overlapped instances...
+  EXPECT_GE(pipeline_stats().pbft_inflight_peak, 2u);
+  // ...while every replica executed the values in submission order.
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(harness.LogOf(r), ExpectedValues(12)) << "replica " << r;
+  }
+}
+
+TEST(PipelineTest, WindowOneReproducesStopAndWait) {
+  pipeline_stats().Reset();
+  WindowedPbftHarness harness(/*f=*/1, /*window=*/1);
+  ASSERT_TRUE(harness.SubmitBurst(6));
+  harness.simulator_.RunFor(Seconds(1));
+  // The paper's group-commit rule: never more than one instance in flight.
+  EXPECT_EQ(pipeline_stats().pbft_inflight_peak, 1u);
+  EXPECT_EQ(pipeline_stats().pbft_ooo_commits, 0u);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(harness.LogOf(r), ExpectedValues(6)) << "replica " << r;
+  }
+}
+
+TEST(PipelineTest, OutOfOrderCommitCertificatesDeliverInOrder) {
+  // Heavy jitter scrambles vote arrival, so commit certificates for later
+  // sequence numbers can complete before earlier ones; execution must
+  // still be strictly in sequence order on every replica.
+  net::NetworkOptions net_options;
+  net_options.jitter_frac = 0.9;
+  pipeline_stats().Reset();
+  WindowedPbftHarness harness(/*f=*/1, /*window=*/8, /*seed=*/23,
+                              net_options);
+  ASSERT_TRUE(harness.SubmitBurst(24));
+  harness.simulator_.RunFor(Seconds(1));
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(harness.LogOf(r), ExpectedValues(24)) << "replica " << r;
+  }
+}
+
+TEST(PipelineTest, ViewChangeWithWindowInFlight) {
+  // Crash the leader with >= 3 proposals in flight: the new view must
+  // carry over every prepared instance, commit each client value exactly
+  // once, and leave no gaps.
+  WindowedPbftHarness harness(/*f=*/1, /*window=*/4);
+  constexpr int kCount = 6;
+  for (int i = 0; i < kCount; ++i) {
+    harness.client_->Submit(ToBytes("v" + std::to_string(i)), nullptr);
+  }
+  // Let the leader issue the first window of pre-prepares, then kill it
+  // mid-flight (before the certificates can complete).
+  harness.simulator_.RunFor(Milliseconds(1));
+  harness.network_.Crash(NodeId{0, 0});
+  ASSERT_TRUE(harness.simulator_.RunUntilCondition(
+      [&] { return harness.client_->completed() >= kCount; }, Seconds(60)));
+  harness.simulator_.RunFor(Seconds(1));
+
+  // Every live replica agrees and holds each value exactly once (the
+  // new-view may legitimately insert no-op gap fillers; LogOf drops them).
+  std::vector<std::string> reference = harness.LogOf(1);
+  std::vector<std::string> sorted = reference;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::string> expected_sorted = ExpectedValues(kCount);
+  std::sort(expected_sorted.begin(), expected_sorted.end());
+  EXPECT_EQ(sorted, expected_sorted);  // no duplicates, no losses
+  for (int r = 2; r < 4; ++r) {
+    EXPECT_EQ(harness.LogOf(r), reference) << "replica " << r;
+  }
+}
+
+TEST(PipelineTest, EquivocatingLeaderInsideWindowIsMasked) {
+  // A leader that equivocates on multiple sequence numbers inside the
+  // window is voted out; the values still commit exactly once.
+  WindowedPbftHarness harness(/*f=*/1, /*window=*/4);
+  harness.replicas_[0]->SetByzantineMode(pbft::ByzantineMode::kEquivocate);
+  constexpr int kCount = 5;
+  for (int i = 0; i < kCount; ++i) {
+    harness.client_->Submit(ToBytes("v" + std::to_string(i)), nullptr);
+  }
+  ASSERT_TRUE(harness.simulator_.RunUntilCondition(
+      [&] { return harness.client_->completed() >= kCount; }, Seconds(60)));
+  harness.simulator_.RunFor(Seconds(1));
+  std::vector<std::string> reference = harness.LogOf(1);
+  std::vector<std::string> sorted = reference;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::string> expected_sorted = ExpectedValues(kCount);
+  std::sort(expected_sorted.begin(), expected_sorted.end());
+  EXPECT_EQ(sorted, expected_sorted);
+  for (int r = 2; r < 4; ++r) {
+    EXPECT_EQ(harness.LogOf(r), reference) << "replica " << r;
+  }
+}
+
+// --- participant-level windowing -------------------------------------------
+
+TEST(PipelineTest, ParticipantWindowPipelinesGeoCommits) {
+  pipeline_stats().Reset();
+  sim::Simulator simulator(11);
+  core::BlockplaneOptions options;
+  options.fg = 1;
+  options.pbft_window = 4;
+  options.participant_window = 4;
+  core::Deployment deployment(&simulator, Topology::Aws4(), options);
+
+  core::Participant* participant = deployment.participant(kCalifornia);
+  constexpr int kCount = 10;
+  std::vector<int> completion_order;
+  for (int i = 0; i < kCount; ++i) {
+    participant->LogCommit(ToBytes("geo" + std::to_string(i)), 0,
+                           [&, i](uint64_t) { completion_order.push_back(i); });
+  }
+  ASSERT_TRUE(simulator.RunUntilCondition(
+      [&] { return completion_order.size() >= kCount; }, Seconds(600)));
+
+  // Callbacks fired strictly in submission order despite 4 concurrent
+  // geo rounds.
+  for (int i = 0; i < kCount; ++i) EXPECT_EQ(completion_order[i], i);
+  EXPECT_GE(pipeline_stats().participant_inflight_peak, 2u);
+}
+
+TEST(PipelineTest, MirrorStreamStaysContiguousUnderWindow) {
+  sim::Simulator simulator(13);
+  core::BlockplaneOptions options;
+  options.fg = 1;
+  options.pbft_window = 8;
+  options.participant_window = 8;
+  core::Deployment deployment(&simulator, Topology::Aws4(), options);
+
+  core::Participant* participant = deployment.participant(kCalifornia);
+  constexpr int kCount = 12;
+  int done = 0;
+  for (int i = 0; i < kCount; ++i) {
+    participant->LogCommit(ToBytes("m" + std::to_string(i)), 0,
+                           [&](uint64_t) { ++done; });
+  }
+  ASSERT_TRUE(simulator.RunUntilCondition([&] { return done >= kCount; },
+                                          Seconds(600)));
+  simulator.RunFor(Seconds(1));
+
+  // Every mirror node of every mirror site replicated the full stream with
+  // contiguous geo positions 1..kCount.
+  for (net::SiteId host : deployment.mirror_sites_of(kCalifornia)) {
+    core::BlockplaneNode* mirror =
+        deployment.mirror_node(host, kCalifornia, 0);
+    std::vector<uint64_t> geo_positions;
+    for (const auto& [pos, record] : mirror->log()) {
+      if (record.type == core::RecordType::kMirrored) {
+        geo_positions.push_back(record.geo_pos);
+      }
+    }
+    ASSERT_EQ(geo_positions.size(), static_cast<size_t>(kCount))
+        << "mirror at site " << host;
+    for (int i = 0; i < kCount; ++i) {
+      EXPECT_EQ(geo_positions[i], static_cast<uint64_t>(i + 1));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace blockplane
