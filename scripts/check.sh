@@ -21,13 +21,34 @@
 #      buffers — exactly the kind of lifetime bug a sanitizer catches and
 #      a passing test hides.
 #
-# Usage: scripts/check.sh [--fast]
-#   --fast  skip the clang-tidy and sanitizer passes (passes 1–3 only).
+# Usage: scripts/check.sh [--fast|--chaos-smoke]
+#   --fast         skip the clang-tidy and sanitizer passes (passes 1–3 only).
+#   --chaos-smoke  quick chaos gate (<60s): build, then run the chaos
+#                  regression + a reduced soak (2 seeds per template via
+#                  CHAOS_SOAK_SEEDS) and the fig-8 chaos bench variant,
+#                  which fails unless throughput recovers after the
+#                  scheduled site outage. Failing campaigns print their
+#                  JSON for seed-exact reproduction (see EXPERIMENTS.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FAST=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
+
+JOBS_SMOKE="$(nproc 2>/dev/null || echo 4)"
+if [[ "${1:-}" == "--chaos-smoke" ]]; then
+  echo "=== chaos smoke: build ==="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS_SMOKE"
+  echo "=== chaos smoke: regression + reduced soak ==="
+  build/tests/chaos_test
+  CHAOS_SOAK_SEEDS=2 build/tests/chaos_soak_test
+  echo "=== chaos smoke: fig-8 chaos bench (outage recovery gate) ==="
+  build/bench/bench_fig8_failures --chaos --out=build/BENCH_chaos.json
+  cp build/BENCH_chaos.json . 2>/dev/null || true
+  echo "=== chaos smoke passed ==="
+  exit 0
+fi
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
@@ -78,6 +99,10 @@ cmake -B build-asan -S . \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
   >/dev/null
 cmake --build build-asan -j "$JOBS"
-ASAN_OPTIONS=detect_leaks=1 ctest --test-dir build-asan --output-on-failure
+# The suite includes one sanitized chaos-soak configuration: a reduced
+# seed count keeps the fault-campaign sweep affordable under ASan while
+# still exercising every schedule template with full instrumentation.
+ASAN_OPTIONS=detect_leaks=1 CHAOS_SOAK_SEEDS=4 \
+  ctest --test-dir build-asan --output-on-failure
 
 echo "=== all checks passed ==="

@@ -23,6 +23,11 @@ PipelineStats& pipeline_stats() {
   return stats;
 }
 
+RobustnessStats& robustness_stats() {
+  static RobustnessStats stats;
+  return stats;
+}
+
 // --- MetricsRegistry ---------------------------------------------------------
 
 MetricsRegistry::MetricsRegistry() {
@@ -70,6 +75,23 @@ MetricsRegistry::MetricsRegistry() {
         };
       },
       []() { pipeline_stats().Reset(); });
+  Register(
+      "robustness",
+      []() {
+        const RobustnessStats& s = robustness_stats();
+        return std::map<std::string, int64_t>{
+            {"viewchange_attempts", s.viewchange_attempts},
+            {"viewchange_backoff_ms", s.viewchange_backoff_ms},
+            {"geo_quarantined", s.geo_quarantined},
+            {"geo_quarantine_released", s.geo_quarantine_released},
+            {"geo_quarantine_dropped", s.geo_quarantine_dropped},
+            {"geo_gap_notices", s.geo_gap_notices},
+            {"geo_gap_nudges", s.geo_gap_nudges},
+            {"mirror_gap_fetches", s.mirror_gap_fetches},
+            {"mirror_gap_filled", s.mirror_gap_filled},
+        };
+      },
+      []() { robustness_stats().Reset(); });
 }
 
 int64_t MetricsRegistry::Register(std::string name, SnapshotFn snapshot,

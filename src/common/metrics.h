@@ -144,6 +144,43 @@ struct PipelineStats {
 /// The process-wide pipeline counter block.
 PipelineStats& pipeline_stats();
 
+/// Process-wide counters for robustness machinery: view-change retry
+/// backoff and the commit-time geo-contiguity quarantine (DESIGN.md §10).
+/// Observability-only, like the other stat blocks — nothing reads them to
+/// make protocol decisions.
+struct RobustnessStats {
+  /// View-change escalations: each increment is one failed view-change
+  /// attempt that re-armed the (backed-off) escalation timer.
+  int64_t viewchange_attempts = 0;
+  /// Cumulative milliseconds of escalation-timer delay scheduled across
+  /// all view-change attempts (jitter included). Dividing by
+  /// viewchange_attempts gives the mean per-attempt backoff.
+  int64_t viewchange_backoff_ms = 0;
+  /// API records whose geo_pos arrived ahead of the contiguous stream and
+  /// were quarantined (side effects deferred) at apply time.
+  int64_t geo_quarantined = 0;
+  /// Quarantined records later released in geo order once the gap filled.
+  int64_t geo_quarantine_released = 0;
+  /// Records dropped from the api stream: stale/duplicate geo positions or
+  /// positions beyond the quarantine bound (byzantine-injected garbage).
+  int64_t geo_quarantine_dropped = 0;
+  /// kGeoGapNotice messages sent by unit nodes to their participant.
+  int64_t geo_gap_notices = 0;
+  /// Participant-side gap-fill nudges (pending-request rebroadcasts
+  /// triggered by a gap notice).
+  int64_t geo_gap_nudges = 0;
+  /// Mirror-side gap backfill (§V outage recovery): kMirrorFetch rounds a
+  /// lagging mirror group's leader issued to its peer mirrors.
+  int64_t mirror_gap_fetches = 0;
+  /// Backfilled mirror entries submitted for commit to close a gap.
+  int64_t mirror_gap_filled = 0;
+
+  void Reset() { *this = RobustnessStats{}; }
+};
+
+/// The process-wide robustness counter block.
+RobustnessStats& robustness_stats();
+
 /// Named counters, useful for asserting message complexity in tests
 /// (e.g. "wide-area messages sent").
 class CounterSet {

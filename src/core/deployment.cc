@@ -60,10 +60,17 @@ Deployment::Deployment(sim::Simulator* simulator, net::Topology topology,
         for (int i = 0; i < unit_size; ++i) {
           group.nodes.push_back(MirrorNodeId(host, origin, i));
         }
+        // The other hosts mirroring the same origin: gap-backfill fetch
+        // targets (§V) when this group falls behind the geo stream.
+        std::vector<net::SiteId> peer_hosts;
+        for (net::SiteId peer : mirror_sites_[origin]) {
+          if (peer != host) peer_hosts.push_back(peer);
+        }
         auto& nodes = mirrors_[{host, origin}];
         for (int i = 0; i < unit_size; ++i) {
           nodes.push_back(std::make_unique<BlockplaneNode>(
               &network_, &keys_, options_, group, group.nodes[i], origin));
+          nodes.back()->SetMirrorPeerHosts(peer_hosts);
         }
       }
     }

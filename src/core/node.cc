@@ -124,6 +124,9 @@ void BlockplaneNode::HandleMessage(const net::Message& msg) {
       }
       return;
     }
+    case kMirrorEntry:
+      OnMirrorEntry(msg);
+      return;
     case kReadRequest: {
       ReadRequestMsg request;
       if (!ReadRequestMsg::Decode(msg.body(), &request).ok()) return;
@@ -398,15 +401,14 @@ void BlockplaneNode::ApplyValue(uint64_t seq, const Bytes& value) {
 
   switch (record.type) {
     case RecordType::kLogCommit:
-      ++api_record_count_;
-      api_pos_by_log_pos_[seq] = api_record_count_;
-      break;
     case RecordType::kCommunication: {
-      ++api_record_count_;
-      api_pos_by_log_pos_[seq] = api_record_count_;
-      auto& positions = comm_positions_[record.dest_site];
-      positions.push_back(seq);
-      for (auto& daemon : daemons_) daemon->NotifyLogAppend();
+      // Commit-time contiguity gate (DESIGN.md §10): the record stays in
+      // the log and the digest chain regardless; only its api-stream side
+      // effects may be deferred (quarantined) until the geo gap fills.
+      if (AdmitApiRecord(seq, record)) {
+        ApplyApiRecord(seq, record.type, record.dest_site, record.geo_pos);
+        ReleaseQuarantineContiguous();
+      }
       break;
     }
     case RecordType::kReceived: {
@@ -461,6 +463,14 @@ void BlockplaneNode::ApplyValue(uint64_t seq, const Bytes& value) {
           AttestCanonical(AttestPurpose::kGeoAck, self_.site, record.geo_pos,
                           mirror_digest_by_pos_[record.geo_pos]));
       SendTo(ParticipantNodeId(record.src_site), kGeoAck, ack.Encode());
+      // Keep the backfill loop self-driving: drain what just became
+      // contiguous, and if a known gap remains with nothing buffered to
+      // extend it, fetch the next batch (each fetch serves a bounded run).
+      if (!mirror_backfill_.empty()) DrainMirrorBackfill();
+      if (mirror_gap_target_ > mirror_high_pos_ &&
+          mirror_backfill_.count(mirror_high_pos_ + 1) == 0) {
+        MaybeFetchMirrorGap(mirror_gap_target_);
+      }
       break;
     }
   }
@@ -482,6 +492,88 @@ void BlockplaneNode::ApplyValue(uint64_t seq, const Bytes& value) {
         it = log_.erase(it);
       }
     }
+  }
+}
+
+// --- geo-contiguity quarantine (DESIGN.md §10) -----------------------------------
+
+bool BlockplaneNode::AdmitApiRecord(uint64_t seq, const LogRecord& record) {
+  // The gate is only live when this node participates in a geo stream:
+  // unit nodes of a participant running with fg > 0. Mirrors never apply
+  // API records, and with fg == 0 geo positions are never stamped (seed
+  // behaviour is preserved exactly).
+  if (is_mirror() || options_.fg == 0) return true;
+  RobustnessStats& rs = robustness_stats();
+  if (record.geo_pos == 0) {
+    // With fg > 0 the (trusted) participant stamps every API record; an
+    // unstamped one can only come from a byzantine proposer. Letting it
+    // advance the api count would desynchronize api positions from geo
+    // positions for every later record, so it is excluded from the stream.
+    rs.geo_quarantine_dropped++;
+    return false;
+  }
+  const uint64_t expected = api_record_count_ + 1;
+  if (record.geo_pos == expected) return true;
+  if (record.geo_pos <= api_record_count_) {
+    // Stale duplicate of an already-released geo position (byzantine
+    // re-proposal); the first holder keeps the api position.
+    rs.geo_quarantine_dropped++;
+    return false;
+  }
+  if (record.geo_pos > expected + kGeoQuarantineSpan) {
+    // Absurdly far-future position: quarantining it would let a byzantine
+    // leader grow the quarantine without bound.
+    rs.geo_quarantine_dropped++;
+    return false;
+  }
+  // Quarantine-and-gap-fill: defer the api-stream side effects (the record
+  // itself is already in the log and the digest chain), tell the
+  // participant which position the stream is stuck on, and keep committing.
+  // This neither re-serializes the pipeline nor rejects the prepared
+  // certificate — the poisoned position simply waits for the gap to fill
+  // (typically after a view change evicts the censoring leader and an
+  // honest one proposes the missing record).
+  geo_quarantine_[record.geo_pos] =
+      QuarantinedApi{seq, record.type, record.dest_site};
+  rs.geo_quarantined++;
+  GeoGapNoticeMsg notice;
+  notice.missing_geo_pos = expected;
+  notice.quarantined_high = geo_quarantine_.rbegin()->first;
+  rs.geo_gap_notices++;
+  SendTo(ParticipantNodeId(origin_site_), kGeoGapNotice, notice.Encode());
+  return false;
+}
+
+void BlockplaneNode::ApplyApiRecord(uint64_t seq, RecordType type,
+                                    net::SiteId dest_site, uint64_t geo_pos) {
+  if (!is_mirror() && options_.fg > 0 && geo_pos > 0) {
+    // The api position IS the geo position: under quarantine-and-gap-fill
+    // records are released in geo order, so this stays contiguous (and in
+    // honest executions it equals the old ++count exactly).
+    api_record_count_ = geo_pos;
+  } else {
+    ++api_record_count_;
+  }
+  api_pos_by_log_pos_[seq] = api_record_count_;
+  if (type == RecordType::kCommunication) {
+    auto& positions = comm_positions_[dest_site];
+    // Quarantine release can surface log positions out of ascending order;
+    // PrevCommPos and the daemons assume a sorted stream.
+    auto it = std::lower_bound(positions.begin(), positions.end(), seq);
+    if (it == positions.end() || *it != seq) positions.insert(it, seq);
+    for (auto& daemon : daemons_) daemon->NotifyLogAppend();
+  }
+}
+
+void BlockplaneNode::ReleaseQuarantineContiguous() {
+  while (true) {
+    auto it = geo_quarantine_.find(api_record_count_ + 1);
+    if (it == geo_quarantine_.end()) return;
+    QuarantinedApi q = it->second;
+    uint64_t geo_pos = it->first;
+    geo_quarantine_.erase(it);
+    robustness_stats().geo_quarantine_released++;
+    ApplyApiRecord(q.seq, q.type, q.dest_site, geo_pos);
   }
 }
 
@@ -708,7 +800,94 @@ void BlockplaneNode::OnGeoReplicate(const net::Message& msg) {
   record.src_site = replicate.acting_site;
   record.geo_pos = replicate.geo_pos;
   record.proof = std::move(replicate.sigs);
+
+  if (replicate.geo_pos > mirror_high_pos_ + 1) {
+    // The geo stream moved past this mirror (e.g. the hosting site sat out
+    // an outage while the other mirrors kept acking). Mirror logs commit
+    // strictly in geo order, so this record cannot be admitted yet: buffer
+    // it and backfill the hole from a peer mirror (§V, DESIGN.md §10).
+    if (replicate.geo_pos <= mirror_high_pos_ + kMirrorBackfillCap &&
+        (mirror_backfill_.size() < kMirrorBackfillCap ||
+         mirror_backfill_.count(replicate.geo_pos) > 0) &&
+        VerifyMirroredProof(record)) {
+      mirror_backfill_[replicate.geo_pos] = std::move(record);
+    }
+    MaybeFetchMirrorGap(replicate.geo_pos);
+    return;
+  }
   SubmitLocalCommit(record);
+}
+
+void BlockplaneNode::OnMirrorEntry(const net::Message& msg) {
+  if (!is_mirror()) return;
+  MirrorEntryMsg entry;
+  if (!MirrorEntryMsg::Decode(msg.body(), &entry).ok()) return;
+  if (entry.origin_site != origin_site_) return;
+  LogRecord record;
+  if (!LogRecord::Decode(entry.record, &record).ok()) return;
+  if (record.type != RecordType::kMirrored) return;
+  if (record.geo_pos <= mirror_high_pos_) return;
+  if (record.geo_pos > mirror_high_pos_ + kMirrorBackfillCap) return;
+  if (mirror_backfill_.size() >= kMirrorBackfillCap &&
+      mirror_backfill_.count(record.geo_pos) == 0) {
+    return;
+  }
+  // Proof-check before buffering so a lying peer cannot crowd out real
+  // entries; admission re-runs the full verification on submit.
+  if (!VerifyMirroredProof(record)) return;
+  mirror_backfill_[record.geo_pos] = std::move(record);
+  DrainMirrorBackfill();
+}
+
+void BlockplaneNode::MaybeFetchMirrorGap(uint64_t target_geo_pos) {
+  mirror_gap_target_ = std::max(mirror_gap_target_, target_geo_pos);
+  if (mirror_peer_hosts_.empty()) return;
+  // Single fetcher: the group's current leader. If the leader is down the
+  // view change rotates it out and the next leader takes over.
+  if (replica_->leader() != self_) return;
+  sim::SimTime now = network_->simulator()->Now();
+  constexpr sim::SimTime kMinFetchInterval = sim::Milliseconds(50);
+  if (last_mirror_gap_fetch_ != 0 &&
+      now - last_mirror_gap_fetch_ < kMinFetchInterval) {
+    return;
+  }
+  last_mirror_gap_fetch_ = now;
+  // Re-base the submission watermark on applied state: anything submitted
+  // since the last fetch that has not applied was lost and goes again
+  // (duplicate submissions are rejected by admission, harmlessly).
+  mirror_backfill_submitted_ = mirror_high_pos_;
+  MirrorFetchMsg fetch;
+  fetch.origin_site = origin_site_;
+  fetch.from_geo_pos = mirror_high_pos_;
+  Bytes encoded = fetch.Encode();
+  for (net::SiteId host : mirror_peer_hosts_) {
+    for (int i = 0; i < options_.fi + 1; ++i) {
+      SendTo(MirrorNodeId(host, origin_site_, i), kMirrorFetch,
+             Bytes(encoded));
+    }
+  }
+  robustness_stats().mirror_gap_fetches++;
+  DrainMirrorBackfill();
+}
+
+void BlockplaneNode::DrainMirrorBackfill() {
+  mirror_backfill_.erase(mirror_backfill_.begin(),
+                         mirror_backfill_.upper_bound(mirror_high_pos_));
+  if (replica_->leader() != self_) return;
+  // Bound proposed-but-unapplied backfill so the rebased retry (one per
+  // fetch) resubmits a bounded run, not the whole buffer.
+  constexpr uint64_t kMaxInflight = 128;
+  uint64_t next = std::max(mirror_high_pos_, mirror_backfill_submitted_) + 1;
+  for (auto it = mirror_backfill_.find(next);
+       it != mirror_backfill_.end() && next <= mirror_high_pos_ + kMaxInflight;
+       it = mirror_backfill_.find(next)) {
+    // The pipelined admission projection (DESIGN.md §9) accepts a
+    // contiguous run back-to-back; each submission re-verifies the proof.
+    SubmitLocalCommit(it->second);
+    mirror_backfill_submitted_ = next;
+    robustness_stats().mirror_gap_filled++;
+    ++next;
+  }
 }
 
 void BlockplaneNode::OnGeoProofBundle(const net::Message& msg) {

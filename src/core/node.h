@@ -76,6 +76,14 @@ class BlockplaneNode : public net::Host {
   /// daemons stay passive until they detect a delivery gap (§IV-C).
   void StartCommDaemon(net::SiteId dest, bool reserve);
 
+  /// Mirror role only: the other host sites mirroring the same origin.
+  /// Peer mirrors are the fetch targets for gap backfill (§V, DESIGN.md
+  /// §10): after an outage, the geo stream has moved past this group, and
+  /// the missing positions can only come from a mirror that has them.
+  void SetMirrorPeerHosts(std::vector<net::SiteId> hosts) {
+    mirror_peer_hosts_ = std::move(hosts);
+  }
+
   /// §VI-B: after an outage, "the replica reads the state of the Local Log
   /// from other nodes to catch up with the current state". Call once the
   /// network declares this node recovered.
@@ -101,6 +109,15 @@ class BlockplaneNode : public net::Host {
   /// The node's copy of the Local Log, 1-based by position.
   const std::map<uint64_t, LogRecord>& log() const { return log_; }
   uint64_t log_size() const { return log_.empty() ? 0 : log_.rbegin()->first; }
+  /// Rolling digest chain over applied values (invariant checking).
+  const crypto::Digest& chain_digest() const { return chain_digest_; }
+  /// Highest log position applied to this node's derived state.
+  uint64_t applied_high() const { return applied_high_; }
+  /// Number of API records released into the geo stream (== the geo
+  /// position of the latest contiguously-applied API record when fg > 0).
+  uint64_t api_record_count() const { return api_record_count_; }
+  /// API records currently quarantined awaiting gap fill (DESIGN.md §10).
+  size_t quarantined_api_records() const { return geo_quarantine_.size(); }
   /// Highest source-log position received (and committed) from `src`.
   uint64_t last_received_pos(net::SiteId src) const;
   /// Number of communication records to `dest` in the log.
@@ -146,6 +163,18 @@ class BlockplaneNode : public net::Host {
   void OnLogSyncReply(const net::Message& msg);
   void TryInstallSyncedLog();
 
+  /// Commit-time geo-contiguity gate for API records (DESIGN.md §10,
+  /// quarantine-and-gap-fill). Returns true when the record may enter the
+  /// api stream now; false when it was quarantined (side effects deferred
+  /// until the gap fills) or dropped (stale duplicate / absurd position).
+  bool AdmitApiRecord(uint64_t seq, const LogRecord& record);
+  /// Api-stream side effects of an applied API record: api position
+  /// assignment, communication-stream bookkeeping, daemon notification.
+  void ApplyApiRecord(uint64_t seq, RecordType type, net::SiteId dest_site,
+                      uint64_t geo_pos);
+  /// Releases quarantined records whose geo positions became contiguous.
+  void ReleaseQuarantineContiguous();
+
   /// The built-in receive verification routine (§IV-C).
   bool VerifyReceived(const LogRecord& record) const;
   /// VerifyReceived with an explicit reception watermark, so the admission
@@ -165,6 +194,18 @@ class BlockplaneNode : public net::Host {
   void OnRecvStatusQuery(const net::Message& msg);
   void OnGeoReplicate(const net::Message& msg);
   void OnGeoProofBundle(const net::Message& msg);
+
+  // -- mirror gap backfill (§V, DESIGN.md §10) --
+  /// A fetched (or ahead-of-stream replicated) mirror entry arrived:
+  /// buffer it and drain whatever became contiguous.
+  void OnMirrorEntry(const net::Message& msg);
+  /// Rate-limited, leader-only kMirrorFetch fan-out to the peer mirror
+  /// hosts for the positions between `mirror_high_pos_` and
+  /// `target_geo_pos`.
+  void MaybeFetchMirrorGap(uint64_t target_geo_pos);
+  /// Submits buffered backfill entries that extend the mirror log
+  /// contiguously; admission re-verifies every proof.
+  void DrainMirrorBackfill();
 
   void SendTo(net::NodeId dst, net::MessageType type, Bytes payload);
 
@@ -193,6 +234,21 @@ class BlockplaneNode : public net::Host {
   uint64_t api_record_count_ = 0;
   std::unordered_map<uint64_t, uint64_t> api_pos_by_log_pos_;
 
+  /// Quarantined API records (geo_pos -> where/what), waiting for the geo
+  /// stream to become contiguous again (DESIGN.md §10). Only populated on
+  /// non-mirror nodes with fg > 0 under a byzantine geo-reordering leader;
+  /// empty in every honest execution.
+  struct QuarantinedApi {
+    uint64_t seq = 0;
+    RecordType type = RecordType::kLogCommit;
+    net::SiteId dest_site = -1;
+  };
+  std::map<uint64_t, QuarantinedApi> geo_quarantine_;
+  /// Maximum distance past the contiguous head a quarantined geo position
+  /// may sit; anything further is byzantine garbage and is dropped from the
+  /// api stream (its log entry and digest chain are unaffected).
+  static constexpr uint64_t kGeoQuarantineSpan = 4096;
+
   /// Leader-side admission projection (DESIGN.md §9): what the applied
   /// state will look like once every admitted-but-unexecuted value commits.
   /// Floored at applied state on every admission (values can commit through
@@ -206,6 +262,22 @@ class BlockplaneNode : public net::Host {
   /// mirrored entry (for re-acks and attestations).
   uint64_t mirror_high_pos_ = 0;
   std::map<uint64_t, crypto::Digest> mirror_digest_by_pos_;
+
+  /// Mirror gap backfill (§V, DESIGN.md §10). After an outage the geo
+  /// stream has moved on; replicates for positions ahead of
+  /// `mirror_high_pos_ + 1` cannot be admitted (mirror logs commit
+  /// strictly in geo order), so they are buffered here while the group
+  /// leader fetches the hole from a peer mirror. Proof-checked on entry;
+  /// re-verified in full at admission.
+  std::vector<net::SiteId> mirror_peer_hosts_;
+  std::map<uint64_t, LogRecord> mirror_backfill_;
+  /// Highest backfill position already submitted for commit (re-based on
+  /// the applied watermark at each fetch, so lost submissions are retried).
+  uint64_t mirror_backfill_submitted_ = 0;
+  /// Highest geo position observed in a replicate — the backfill target.
+  uint64_t mirror_gap_target_ = 0;
+  sim::SimTime last_mirror_gap_fetch_ = 0;
+  static constexpr size_t kMirrorBackfillCap = 4096;
 
   /// Nodes awaiting an ack for a transmission: (src, src_pos) -> requesters.
   std::map<std::pair<net::SiteId, uint64_t>, std::set<net::NodeId>>

@@ -809,9 +809,38 @@ void Participant::HandleMessage(const net::Message& msg) {
     case kReadReply:
       OnReadReply(msg);
       break;
+    case kGeoGapNotice:
+      OnGeoGapNotice(msg);
+      break;
     default:
       break;
   }
+}
+
+void Participant::OnGeoGapNotice(const net::Message& msg) {
+  // Only our own unit nodes may report a stuck geo stream.
+  if (unit_group_.ReplicaIndex(msg.src) < 0) return;
+  GeoGapNoticeMsg notice;
+  if (!GeoGapNoticeMsg::Decode(msg.body(), &notice).ok()) return;
+  // A byzantine unit leader committed a later geo position while censoring
+  // `missing_geo_pos` (DESIGN.md §10). The missing record is one of OUR
+  // submissions — its PBFT request is still pending at the client (its
+  // reply requires f_i+1 matching states, which the quarantined nodes
+  // cannot produce for a censored record). Re-broadcasting the pending
+  // requests arms the backups' censored-request watchdogs and forces a
+  // view change that evicts the reordering leader; the honest successor
+  // proposes the gap and the quarantine drains.
+  //
+  // Rate-limited: every quarantined apply on every unit node sends a
+  // notice, but one nudge per half retry period is plenty.
+  sim::SimTime now = sim_->Now();
+  if (last_gap_nudge_ != 0 &&
+      now - last_gap_nudge_ < options_.local_client_retry / 2) {
+    return;
+  }
+  last_gap_nudge_ = now;
+  robustness_stats().geo_gap_nudges++;
+  client_->NudgePending();
 }
 
 }  // namespace blockplane::core

@@ -150,6 +150,10 @@ class Participant : public net::Host {
   void OnGeoAck(const net::Message& msg);
   void FinishGeoRound(uint64_t geo_pos);
   void OnDeliverNotice(const net::Message& msg);
+  /// Byzantine-leader geo-reorder defense (DESIGN.md §10): a unit node
+  /// reports that the contiguous geo stream is stuck; nudge the pending
+  /// PBFT submissions so the backups' watchdogs evict the censoring leader.
+  void OnGeoGapNotice(const net::Message& msg);
   void OnRecvStatusReply(const net::Message& msg);
   void OnReadReply(const net::Message& msg);
   void StartMirrorOp();
@@ -185,6 +189,8 @@ class Participant : public net::Host {
   /// for positions (geo_seq_, geo_assign_] are in flight.
   uint64_t geo_assign_ = 0;
   uint64_t commits_completed_ = 0;
+  /// Last time a geo gap notice triggered a NudgePending (rate limiting).
+  sim::SimTime last_gap_nudge_ = 0;
   /// Concurrent geo rounds keyed by geo position. Mirror-acting rounds use
   /// the origin's stream positions, but run exclusively (no own-stream
   /// round coexists), so the key space never collides.

@@ -37,6 +37,11 @@ enum CoreMessageType : net::MessageType {
   kMirrorEntry = 214,
   kLogSyncRequest = 215,
   kLogSyncReply = 216,
+  /// Unit node -> own participant: an API record committed with a geo
+  /// position ahead of the contiguous stream and was quarantined; the
+  /// participant should nudge its pending submissions to fill the gap
+  /// (byzantine-leader geo-reorder defense, DESIGN.md §10).
+  kGeoGapNotice = 217,
 };
 
 /// The paper's record-type annotation (§IV-B: "every value has a type

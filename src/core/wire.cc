@@ -138,6 +138,19 @@ Status GeoAckMsg::Decode(const Bytes& buf, GeoAckMsg* out) {
   return crypto::DecodeSignature(&dec, &out->sig);
 }
 
+Bytes GeoGapNoticeMsg::Encode() const {
+  Encoder enc;
+  enc.PutU64(missing_geo_pos);
+  enc.PutU64(quarantined_high);
+  return enc.Take();
+}
+
+Status GeoGapNoticeMsg::Decode(const Bytes& buf, GeoGapNoticeMsg* out) {
+  Decoder dec(buf);
+  BP_RETURN_NOT_OK(dec.GetU64(&out->missing_geo_pos));
+  return dec.GetU64(&out->quarantined_high);
+}
+
 Bytes ReadRequestMsg::Encode() const {
   Encoder enc;
   enc.PutU64(read_id);

@@ -82,6 +82,18 @@ struct GeoAckMsg {
   static Status Decode(const Bytes& buf, GeoAckMsg* out);
 };
 
+/// Unit node -> own participant: the contiguous geo stream is stuck waiting
+/// for `missing_geo_pos` while a later position sits in quarantine
+/// (DESIGN.md §10, quarantine-and-gap-fill).
+struct GeoGapNoticeMsg {
+  uint64_t missing_geo_pos = 0;
+  /// Highest geo position currently quarantined at the sender (diagnostic).
+  uint64_t quarantined_high = 0;
+
+  Bytes Encode() const;
+  static Status Decode(const Bytes& buf, GeoGapNoticeMsg* out);
+};
+
 struct ReadRequestMsg {
   uint64_t read_id = 0;
   uint64_t pos = 0;

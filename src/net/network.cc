@@ -46,10 +46,9 @@ void Network::Send(Message msg) {
     counters_.Increment("dropped_messages");
     return;
   }
-  // Partitioned site pairs drop everything.
-  SiteId lo = std::min(msg.src.site, msg.dst.site);
-  SiteId hi = std::max(msg.src.site, msg.dst.site);
-  if (partitions_.count({lo, hi}) > 0) {
+  // Partitioned directions drop everything (symmetric partitions insert
+  // both directed edges; one-way partitions just one).
+  if (partitions_.count({msg.src.site, msg.dst.site}) > 0) {
     counters_.Increment("dropped_messages");
     return;
   }
@@ -162,11 +161,27 @@ bool Network::IsSiteCrashed(SiteId site) const {
 }
 
 void Network::PartitionSites(SiteId a, SiteId b) {
-  partitions_.insert({std::min(a, b), std::max(a, b)});
+  partitions_.insert({a, b});
+  partitions_.insert({b, a});
 }
 
 void Network::HealPartition(SiteId a, SiteId b) {
-  partitions_.erase({std::min(a, b), std::max(a, b)});
+  partitions_.erase({a, b});
+  partitions_.erase({b, a});
 }
+
+void Network::PartitionOneWay(SiteId from, SiteId to) {
+  partitions_.insert({from, to});
+}
+
+void Network::HealOneWay(SiteId from, SiteId to) {
+  partitions_.erase({from, to});
+}
+
+bool Network::IsPartitioned(SiteId from, SiteId to) const {
+  return partitions_.count({from, to}) > 0;
+}
+
+void Network::HealAll() { partitions_.clear(); }
 
 }  // namespace blockplane::net

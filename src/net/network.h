@@ -98,6 +98,19 @@ class Network {
   void PartitionSites(SiteId a, SiteId b);
   void HealPartition(SiteId a, SiteId b);
 
+  /// One-way (asymmetric) partition: drops traffic flowing `from` -> `to`
+  /// only; the reverse direction still delivers. Models the asymmetric
+  /// route failures common on wide-area links (BGP blackholes, unidirectional
+  /// congestion collapse) that symmetric partitions cannot express.
+  void PartitionOneWay(SiteId from, SiteId to);
+  void HealOneWay(SiteId from, SiteId to);
+  /// True if traffic flowing `from` -> `to` is currently dropped (by either
+  /// a symmetric or a matching one-way partition).
+  bool IsPartitioned(SiteId from, SiteId to) const;
+  /// Heals every partition (symmetric and one-way) at once. Crash state is
+  /// untouched; use RecoverSite/Recover for that.
+  void HealAll();
+
   void set_drop_prob(double p) { options_.drop_prob = p; }
   void set_corrupt_prob(double p) { options_.corrupt_prob = p; }
   void set_duplicate_prob(double p) { options_.duplicate_prob = p; }
@@ -124,6 +137,9 @@ class Network {
   std::map<std::pair<NodeId, NodeId>, sim::SimTime> pair_last_arrival_;
   std::unordered_set<NodeId, NodeIdHash> crashed_;
   std::unordered_set<SiteId> crashed_sites_;
+  /// Directed partition edges: {from, to} present means traffic flowing
+  /// from -> to is dropped. PartitionSites inserts both directions;
+  /// PartitionOneWay inserts just one.
   std::set<std::pair<SiteId, SiteId>> partitions_;
 
   CounterSet counters_;

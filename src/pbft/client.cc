@@ -77,6 +77,16 @@ void PbftClient::ArmRetry(uint64_t req_id) {
       });
 }
 
+void PbftClient::NudgePending() {
+  for (auto& [req_id, pending] : pending_) {
+    pending.broadcast = true;
+    sim_->Cancel(pending.retry_timer);
+    pending.retry_timer = sim::kInvalidEventId;
+    SendRequest(req_id, /*broadcast=*/true);
+    ArmRetry(req_id);
+  }
+}
+
 void PbftClient::HandleMessage(const net::Message& msg) {
   if (msg.type != kReply) return;
   ReplyMsg reply;

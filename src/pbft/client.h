@@ -43,8 +43,17 @@ class PbftClient : public net::Host {
 
   void HandleMessage(const net::Message& msg) override;
 
+  /// Immediately re-broadcasts every pending request (same req_ids — never
+  /// a re-Submit, which would mint new ids and risk double commits) and
+  /// re-arms the retry timers. Used by the participant's geo gap-fill path:
+  /// the broadcast reaches the backups, whose censored-request watchdogs
+  /// then force a view change against a geo-reordering leader
+  /// (DESIGN.md §10).
+  void NudgePending();
+
   net::NodeId self() const { return self_; }
   uint64_t completed() const { return completed_; }
+  size_t pending() const { return pending_.size(); }
 
  private:
   struct PendingRequest {

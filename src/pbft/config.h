@@ -25,6 +25,15 @@ struct PbftConfig {
   sim::SimTime view_timeout = sim::Milliseconds(60);
   /// Client retry period before broadcasting its request to all replicas.
   sim::SimTime client_retry = sim::Milliseconds(120);
+  /// Cap for the view-change escalation timer's exponential backoff. Each
+  /// failed view-change attempt doubles the escalation delay starting from
+  /// 2 * view_timeout, up to this cap, with uniform jitter on top so that
+  /// replicas whose timers fired together under a partition do not
+  /// re-synchronize into a retry storm (DESIGN.md §10).
+  sim::SimTime view_backoff_cap = sim::Seconds(2);
+  /// Uniform jitter added to each escalation delay, as a fraction of the
+  /// backed-off delay (0.2 = up to +20%).
+  double view_backoff_jitter = 0.2;
   /// A stable checkpoint is taken (and the log truncated) every this many
   /// executed sequence numbers.
   uint64_t checkpoint_interval = 128;

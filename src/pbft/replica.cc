@@ -23,6 +23,13 @@ PbftReplica::PbftReplica(net::Network* network, crypto::KeyStore* keys,
   BP_CHECK_MSG(index_ >= 0, "replica is not a member of its own group");
   signer_ = keys_->RegisterNode(self_);
   state_digest_.fill(0);
+  // Jitter stream for the view-change backoff: seeded from this replica's
+  // identity so it is deterministic per seed yet distinct per replica,
+  // without consuming draws from the simulator's root RNG (which would
+  // shift every downstream Fork and invalidate golden traces).
+  backoff_rng_.Seed(0x5bd1e995u ^
+                    (static_cast<uint64_t>(self_.site) << 32) ^
+                    (static_cast<uint64_t>(self_.index) + 1));
 }
 
 void PbftReplica::RegisterWithNetwork() { network_->Register(self_, this); }
@@ -176,6 +183,15 @@ void PbftReplica::OnRequest(const net::Message& msg) {
   if (IsLeader() && !in_view_change_) {
     auto key = std::make_pair(request.client_token, request.req_id);
     if (assigned_requests_.count(key) > 0) return;  // already proposed
+    if (byzantine_ == ByzantineMode::kReorderGeo && !reorder_stashed_) {
+      // Geo-reorder attack: silently censor the first request (mark it
+      // assigned so retries stay censored too) while proposing later ones.
+      // The unit log then carries non-contiguous geo positions until a view
+      // change evicts this leader and an honest one proposes the gap.
+      reorder_stashed_ = true;
+      assigned_requests_.insert(key);
+      return;
+    }
     assigned_requests_.insert(key);
     pending_requests_.push_back({std::move(request), msg.trace_id, sim_->Now()});
     MaybeProposeNext();
@@ -195,14 +211,24 @@ void PbftReplica::OnRequest(const net::Message& msg) {
   SendShared(leader(), kRequest, msg.payload, msg.trace_id);
   auto key = std::make_pair(request.client_token, request.req_id);
   if (watched_requests_.count(key) > 0) return;
-  sim::EventId timer = sim_->Schedule(config_.view_timeout, [this, key]() {
+  WatchedRequest& watch = watched_requests_[key];
+  watch.payload = msg.payload;  // kept for re-forwarding on view entry
+  watch.trace_id = msg.trace_id;
+  ArmRequestWatchdog(key);
+}
+
+void PbftReplica::ArmRequestWatchdog(
+    const std::pair<uint64_t, uint64_t>& key) {
+  auto it = watched_requests_.find(key);
+  if (it == watched_requests_.end()) return;
+  sim_->Cancel(it->second.timer);
+  it->second.timer = sim_->Schedule(config_.view_timeout, [this, key]() {
     watched_requests_.erase(key);
     // The quorum may have executed the request without us; fetch decided
     // entries before blaming the leader.
     CatchUp();
     StartViewChange(view_ + 1);
   });
-  watched_requests_[key] = timer;
 }
 
 uint64_t PbftReplica::HighWatermark() const {
@@ -216,6 +242,9 @@ uint64_t PbftReplica::HighWatermark() const {
 
 bool PbftReplica::AdmitValue(const Bytes& value) {
   if (byzantine_ == ByzantineMode::kRejectVerification) return false;
+  // A geo-reordering byzantine leader does not run the honest admission
+  // projection (which would reject its own out-of-contiguity proposals).
+  if (byzantine_ == ByzantineMode::kReorderGeo) return true;
   if (value.empty()) return true;  // no-op gap filler
   if (admission_) return admission_(value);
   if (verifier_) return verifier_(value);
@@ -546,7 +575,12 @@ void PbftReplica::ExecuteReady() {
       SendReply(instance, seq);
     }
 
-    watched_requests_.erase({instance.client_token, instance.req_id});
+    auto wit =
+        watched_requests_.find({instance.client_token, instance.req_id});
+    if (wit != watched_requests_.end()) {
+      sim_->Cancel(wit->second.timer);
+      watched_requests_.erase(wit);
+    }
     expected_digests_.erase(seq);
     ++last_executed_;
 
@@ -571,6 +605,7 @@ void PbftReplica::MaybeAbandonViewChange() {
   if (supporters > config_.f) return;  // a real view change is brewing
   in_view_change_ = false;
   target_view_ = view_;
+  viewchange_attempts_ = 0;
   sim_->Cancel(view_change_timer_);
   view_change_timer_ = sim::kInvalidEventId;
 }
@@ -826,13 +861,36 @@ void PbftReplica::StartViewChange(uint64_t new_view) {
   Broadcast(kViewChange, encoded);
   MaybeSendNewView(new_view);
 
-  // Escalate if the new view does not start in time.
+  // Escalate if the new view does not start in time — with capped
+  // exponential backoff plus jitter. A flat 2 * view_timeout retry lets
+  // every replica's escalation fire in lock-step under a partition; the
+  // repeated synchronized broadcasts then become a retry storm exactly when
+  // the network is least able to absorb one. Each consecutive failed
+  // attempt doubles the delay (up to view_backoff_cap), and per-replica
+  // jitter decorrelates the herd (DESIGN.md §10).
+  sim::SimTime delay = 2 * config_.view_timeout;
+  uint64_t shift = std::min<uint64_t>(viewchange_attempts_, 16);
+  if (shift > 0 && delay < config_.view_backoff_cap) {
+    // Saturating left-shift: never overflows, never exceeds the cap.
+    for (uint64_t i = 0; i < shift && delay < config_.view_backoff_cap; ++i) {
+      delay *= 2;
+    }
+  }
+  delay = std::min(delay, config_.view_backoff_cap);
+  if (config_.view_backoff_jitter > 0) {
+    delay += static_cast<sim::SimTime>(backoff_rng_.NextDouble() *
+                                       config_.view_backoff_jitter *
+                                       static_cast<double>(delay));
+  }
+  ++viewchange_attempts_;
+  RobustnessStats& rs = robustness_stats();
+  rs.viewchange_attempts++;
+  rs.viewchange_backoff_ms += static_cast<int64_t>(sim::ToMillis(delay));
   sim_->Cancel(view_change_timer_);
-  view_change_timer_ =
-      sim_->Schedule(2 * config_.view_timeout, [this, new_view]() {
-        if (view_ >= new_view) return;
-        StartViewChange(target_view_ + 1);
-      });
+  view_change_timer_ = sim_->Schedule(delay, [this, new_view]() {
+    if (view_ >= new_view) return;
+    StartViewChange(target_view_ + 1);
+  });
 }
 
 void PbftReplica::OnViewChange(const net::Message& msg) {
@@ -963,6 +1021,7 @@ void PbftReplica::EnterView(uint64_t v, const std::vector<ViewChangeMsg>& vcs) {
   view_ = v;
   target_view_ = v;
   in_view_change_ = false;
+  viewchange_attempts_ = 0;
   sim_->Cancel(view_change_timer_);
   view_change_timer_ = sim::kInvalidEventId;
   view_changes_.erase(view_changes_.begin(),
@@ -1052,6 +1111,30 @@ void PbftReplica::EnterView(uint64_t v, const std::vector<ViewChangeMsg>& vcs) {
   } else if (!carryover.empty()) {
     // Backups: watch for the leader's re-issued pre-prepares.
     ArmProgressTimer(carryover.begin()->first);
+  }
+
+  // Give the new view a full timeout to serve the requests we are still
+  // watching. Watchdogs armed in the old view would otherwise depose each
+  // new leader before the client's (slower) retransmission reaches it, and
+  // when the client retry period is close to the view timeout this repeats
+  // in every view — a view-change storm that starves the request forever.
+  // Re-forwarding from the backups' own stash breaks the synchronization.
+  for (auto& [key, watch] : watched_requests_) {
+    if (!watch.payload) continue;
+    if (IsLeader()) {
+      // Broadcast/SendShared deliberately skip self-delivery, so feed the
+      // stashed request straight back into our own request path.
+      net::Message msg;
+      msg.src = self_;
+      msg.dst = self_;
+      msg.type = kRequest;
+      msg.payload = watch.payload;
+      msg.trace_id = watch.trace_id;
+      OnRequest(msg);
+    } else {
+      SendShared(leader(), kRequest, watch.payload, watch.trace_id);
+    }
+    ArmRequestWatchdog(key);
   }
 }
 

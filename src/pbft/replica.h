@@ -43,6 +43,13 @@ enum class ByzantineMode {
   kBogusVotes,
   /// Never passes the verification routine (withholds commit votes).
   kRejectVerification,
+  /// As a Blockplane unit leader: censors the first client request it sees
+  /// (never proposing it) while continuing to propose later ones, and
+  /// bypasses the honest admission projection. Downstream this yields
+  /// non-contiguous geo positions in the unit log — the byzantine-leader
+  /// geo-reorder attack the quarantine-and-gap-fill defense exists for
+  /// (DESIGN.md §10).
+  kReorderGeo,
 };
 
 class PbftReplica : public net::Host {
@@ -215,6 +222,9 @@ class PbftReplica : public net::Host {
   // -- view changes --
   void ArmProgressTimer(uint64_t seq);
   void CancelProgressTimer(Instance* instance);
+  /// (Re-)arms the censorship watchdog for a watched client request; when
+  /// it fires without the request executing, the leader is suspect.
+  void ArmRequestWatchdog(const std::pair<uint64_t, uint64_t>& key);
   void StartViewChange(uint64_t new_view);
   void MaybeAbandonViewChange();
   /// Installs view `v` from a validated set of view-change messages,
@@ -264,6 +274,18 @@ class PbftReplica : public net::Host {
   bool in_view_change_ = false;
   uint64_t target_view_ = 0;
   sim::EventId view_change_timer_ = sim::kInvalidEventId;
+  /// Consecutive view-change escalations without entering a view. Drives
+  /// the capped exponential backoff of the escalation timer; reset on view
+  /// entry and when a lone view change is abandoned.
+  uint64_t viewchange_attempts_ = 0;
+  /// Per-replica jitter stream for the view-change backoff. Seeded
+  /// deterministically from this replica's identity (NOT forked from the
+  /// simulator's root RNG — forking there would perturb every downstream
+  /// fork and break golden traces).
+  sim::Rng backoff_rng_;
+  /// kReorderGeo: set once the byzantine leader has censored its first
+  /// request.
+  bool reorder_stashed_ = false;
 
   uint64_t next_seq_ = 1;  // leader: next sequence number to assign
   std::deque<PendingRequest> pending_requests_;
@@ -293,9 +315,18 @@ class PbftReplica : public net::Host {
   /// View-change messages per target view, by replica index.
   std::map<uint64_t, std::map<int32_t, ViewChangeMsg>> view_changes_;
 
-  /// Requests observed via forwarding, awaiting leader progress:
-  /// (client_token, req_id) -> timer.
-  std::map<std::pair<uint64_t, uint64_t>, sim::EventId> watched_requests_;
+  /// Requests observed via forwarding, awaiting leader progress. The
+  /// request payload is kept so that, on view entry, every backup can
+  /// re-forward it to the new leader immediately and restart the watchdog
+  /// with a full timeout — otherwise watchdogs armed before the view
+  /// change depose each new leader before a client retransmission can
+  /// reach it, and the request starves through a view-change storm.
+  struct WatchedRequest {
+    sim::EventId timer = sim::kInvalidEventId;
+    net::PayloadPtr payload;  // the encoded kRequest body, shared
+    uint64_t trace_id = 0;
+  };
+  std::map<std::pair<uint64_t, uint64_t>, WatchedRequest> watched_requests_;
 
   /// After a view change: the digest each carried-over seq must have in the
   /// current view. Pre-prepares for these seqs are accepted only on match.

@@ -1,0 +1,71 @@
+// The chaos soak (DESIGN.md §10): many seeded campaigns across all four
+// schedule templates, each run end-to-end through the chaos engine and
+// checked against the four cross-site invariants (log agreement, completion
+// order, mirror contiguity, liveness).
+//
+// A failing seed prints the full campaign JSON — which embeds the config —
+// so the identical run can be recompiled and replayed:
+//
+//   CHAOS_SOAK_SEEDS=1 CHAOS_SOAK_BASE=<seed> ./chaos_soak_test
+//
+// CHAOS_SOAK_SEEDS overrides the per-template seed count (the --chaos-smoke
+// pass of scripts/check.sh uses a small value to stay under a minute;
+// ASan/UBSan CI runs one seed per template the same way).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "chaos/campaign.h"
+#include "chaos/engine.h"
+
+namespace blockplane::chaos {
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  int parsed = std::atoi(value);
+  return parsed > 0 ? parsed : fallback;
+}
+
+class ChaosSoakTest : public ::testing::TestWithParam<ScheduleTemplate> {};
+
+TEST_P(ChaosSoakTest, SeededCampaignsHoldAllInvariants) {
+  ScheduleTemplate schedule = GetParam();
+  // 13 seeds x 4 templates = 52 distinct campaigns by default (the seed
+  // ranges of the templates never overlap).
+  int seeds = EnvInt("CHAOS_SOAK_SEEDS", 13);
+  uint64_t base = static_cast<uint64_t>(
+      EnvInt("CHAOS_SOAK_BASE",
+             100 * (static_cast<int>(schedule) + 1)));
+  int failures = 0;
+  for (int i = 0; i < seeds; ++i) {
+    CampaignConfig config;
+    config.seed = base + static_cast<uint64_t>(i);
+    config.schedule = schedule;
+    Campaign campaign = CompileCampaign(config);
+    ChaosReport report = RunCampaign(campaign);
+    if (!report.ok) {
+      ++failures;
+      ADD_FAILURE() << ScheduleTemplateName(schedule) << " seed "
+                    << config.seed << " failed:\n"
+                    << report.ToString()
+                    << "\nreproduce with this campaign:\n"
+                    << campaign.ToJson();
+    }
+  }
+  EXPECT_EQ(failures, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTemplates, ChaosSoakTest,
+    ::testing::Values(ScheduleTemplate::kCrashHeavy,
+                      ScheduleTemplate::kPartitionHeavy,
+                      ScheduleTemplate::kByzantineHeavy,
+                      ScheduleTemplate::kMixed),
+    [](const ::testing::TestParamInfo<ScheduleTemplate>& info) {
+      return ScheduleTemplateName(info.param);
+    });
+
+}  // namespace
+}  // namespace blockplane::chaos

@@ -78,5 +78,88 @@ TEST(LossyNetworkTest, CorruptionIsRejectedNotMisinterpreted) {
   }
 }
 
+// --- asymmetric partitions ----------------------------------------------------
+
+namespace {
+
+/// Records every delivered message body.
+struct SinkHost : net::Host {
+  int received = 0;
+  void HandleMessage(const net::Message&) override { ++received; }
+};
+
+net::Message Ping(net::NodeId src, net::NodeId dst) {
+  net::Message msg;
+  msg.src = src;
+  msg.dst = dst;
+  msg.type = 250;
+  msg.set_body(ToBytes("ping"));
+  return msg;
+}
+
+}  // namespace
+
+TEST(LossyNetworkTest, OneWayPartitionDropsOnlyForwardDirection) {
+  sim::Simulator simulator(5);
+  net::Network network(&simulator, Topology::Uniform(2, 40.0));
+  SinkHost at_a, at_b;
+  net::NodeId a{0, 0}, b{1, 0};
+  network.Register(a, &at_a);
+  network.Register(b, &at_b);
+
+  network.PartitionOneWay(0, 1);
+  EXPECT_TRUE(network.IsPartitioned(0, 1));
+  EXPECT_FALSE(network.IsPartitioned(1, 0));
+
+  network.Send(Ping(a, b));  // blocked direction
+  network.Send(Ping(b, a));  // open direction
+  simulator.Run();
+  EXPECT_EQ(at_b.received, 0);
+  EXPECT_EQ(at_a.received, 1);
+
+  network.HealOneWay(0, 1);
+  EXPECT_FALSE(network.IsPartitioned(0, 1));
+  network.Send(Ping(a, b));
+  simulator.Run();
+  EXPECT_EQ(at_b.received, 1);
+}
+
+TEST(LossyNetworkTest, HealAllClearsSymmetricAndOneWayPartitions) {
+  sim::Simulator simulator(6);
+  net::Network network(&simulator, Topology::Uniform(3, 40.0));
+  network.PartitionSites(0, 1);
+  network.PartitionOneWay(1, 2);
+  EXPECT_TRUE(network.IsPartitioned(0, 1));
+  EXPECT_TRUE(network.IsPartitioned(1, 0));
+  EXPECT_TRUE(network.IsPartitioned(1, 2));
+  EXPECT_FALSE(network.IsPartitioned(2, 1));
+
+  network.HealAll();
+  for (net::SiteId from = 0; from < 3; ++from) {
+    for (net::SiteId to = 0; to < 3; ++to) {
+      EXPECT_FALSE(network.IsPartitioned(from, to))
+          << from << " -> " << to;
+    }
+  }
+}
+
+// A one-way cut on the transmission direction is masked end-to-end: the
+// daemons keep retransmitting into the black hole (acks still flow the
+// open way but nothing arrives to ack) until the route heals.
+TEST(LossyNetworkTest, OneWayPartitionIsMaskedAfterHeal) {
+  sim::Simulator simulator(8);
+  Deployment deployment(&simulator, Topology::Aws4(), {});
+  protocols::CounterProtocol counter(&deployment);
+  deployment.network()->PartitionOneWay(net::kCalifornia, net::kOregon);
+
+  counter.UserRequest(net::kCalifornia, net::kOregon, "trusted-one-way");
+  simulator.RunFor(Seconds(8));
+  EXPECT_EQ(counter.counter(net::kOregon), 0) << "partition not effective";
+
+  deployment.network()->HealAll();
+  ASSERT_TRUE(simulator.RunUntilCondition(
+      [&] { return counter.counter(net::kOregon) == 1; }, Seconds(60)));
+}
+
 }  // namespace
 }  // namespace blockplane::core

@@ -331,6 +331,9 @@ std::string ByzantineSweepName(
     case ByzantineMode::kRejectVerification:
       name = "RejectVerification";
       break;
+    case ByzantineMode::kReorderGeo:
+      name = "ReorderGeo";
+      break;
   }
   return std::string(name) + "_victim" +
          std::to_string(std::get<1>(info.param));

@@ -100,6 +100,57 @@ TEST(RecoveryTest, RecoveredNodeParticipatesAgain) {
       Seconds(60)));
 }
 
+TEST(RecoveryTest, CrashDuringSnapshotTransferRestartsIdempotently) {
+  // The recovering node goes down again *mid snapshot transfer* (snapshot
+  // certificate received, log-sync replies still in flight). The partial
+  // sync state must not poison the second recovery: the transfer restarts
+  // from scratch — against a target that moved while the node was down —
+  // and still installs a byte-for-byte copy.
+  RecoveryHarness harness(/*checkpoint_interval=*/4);
+  net::NodeId down{0, 3};
+  harness.deployment_->network()->Crash(down);
+  harness.CommitMany(20);
+  harness.simulator_.RunFor(Seconds(1));
+  ASSERT_GE(
+      harness.deployment_->node(0, 0)->replica()->last_stable_checkpoint(),
+      16u);
+
+  // First recovery attempt: let the snapshot certificate and the first few
+  // sync replies land, then yank the node again mid-transfer.
+  harness.deployment_->network()->Recover(down);
+  harness.deployment_->node(0, 3)->Recover();
+  harness.simulator_.RunFor(sim::Microseconds(700));
+  EXPECT_LT(harness.deployment_->node(0, 3)->log_size(), 20u)
+      << "transfer already finished; crash no longer lands mid-transfer";
+  harness.deployment_->network()->Crash(down);
+
+  // The unit keeps committing while the straggler is down again, so the
+  // restarted transfer chases a target past the one it first saw.
+  harness.CommitMany(4);
+  harness.simulator_.RunFor(Seconds(1));
+
+  harness.deployment_->network()->Recover(down);
+  harness.deployment_->node(0, 3)->Recover();
+  ASSERT_TRUE(harness.simulator_.RunUntilCondition(
+      [&] { return harness.deployment_->node(0, 3)->log_size() == 24; },
+      Seconds(60)));
+  // Every entry matches a healthy node, byte for byte — no duplicated or
+  // torn entries from the abandoned first transfer.
+  const auto& healthy = harness.deployment_->node(0, 0)->log();
+  const auto& recovered = harness.deployment_->node(0, 3)->log();
+  ASSERT_EQ(healthy.size(), recovered.size());
+  for (const auto& [pos, record] : healthy) {
+    ASSERT_TRUE(recovered.count(pos) > 0) << "missing pos " << pos;
+    EXPECT_EQ(recovered.at(pos).Encode(), record.Encode()) << "pos " << pos;
+  }
+  // And the node is a live voter again: the unit survives losing another.
+  harness.deployment_->network()->Crash({0, 1});
+  harness.CommitMany(3);
+  ASSERT_TRUE(harness.simulator_.RunUntilCondition(
+      [&] { return harness.deployment_->node(0, 3)->log_size() == 27; },
+      Seconds(60)));
+}
+
 TEST(RecoveryTest, ForgedSnapshotCertificateIsRejected) {
   // A byzantine peer offers a recovering node a snapshot far ahead of
   // reality, with an invalid certificate: the node must ignore it and
