@@ -1,0 +1,78 @@
+"""bplint - Blockplane's project-invariant static-analysis suite.
+
+Usage:
+  python3 scripts/bplint [paths...] [options]
+
+  paths                 files or directories to analyze, relative to
+                        --root (default: src bench)
+  -p, --build DIR       CMake build directory; the compile-commands
+                        database there widens the file set to every
+                        translation unit the build knows about
+  --root DIR            project root diagnostics are reported relative
+                        to (default: the current directory)
+  --disable RULES       comma-separated rule ids to disable
+                        (e.g. --disable BP003,BP005)
+  --list-rules          print the rule catalog and exit
+  --no-clang            skip the optional libclang refinement backend
+
+Exit status: 0 when no diagnostics, 1 otherwise, 2 on usage errors.
+Diagnostics go to stdout as sorted `path:line: RULE: message` lines and
+are byte-identical across runs; the summary goes to stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from engine import run  # noqa: E402
+from rules import ALL_RULES, RULE_DESCRIPTIONS  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bplint",
+        description="Blockplane determinism / wire-coverage / entropy-"
+                    "hygiene static analysis")
+    parser.add_argument("paths", nargs="*", default=None)
+    parser.add_argument("-p", "--build", dest="build", default=None)
+    parser.add_argument("--root", default=".")
+    parser.add_argument("--disable", default="")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--no-clang", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, desc in RULE_DESCRIPTIONS:
+            print(f"{rule}  {desc}")
+        return 0
+
+    disabled = {r.strip() for r in args.disable.split(",") if r.strip()}
+    unknown = disabled - set(ALL_RULES)
+    if unknown:
+        print(f"bplint: unknown rule id(s): {', '.join(sorted(unknown))}",
+              file=sys.stderr)
+        return 2
+
+    paths = args.paths or ["src", "bench"]
+    root = args.root
+    for p in paths:
+        full = p if os.path.isabs(p) else os.path.join(root, p)
+        if not os.path.exists(full):
+            print(f"bplint: no such path: {p}", file=sys.stderr)
+            return 2
+
+    diags, nfiles = run(paths, root, compile_commands_dir=args.build,
+                        disabled=disabled, use_clang=not args.no_clang)
+    for d in diags:
+        print(d.render())
+    print(f"bplint: {nfiles} files analyzed, {len(diags)} diagnostic(s)",
+          file=sys.stderr)
+    return 1 if diags else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

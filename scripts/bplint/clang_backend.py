@@ -1,0 +1,81 @@
+"""Optional libclang refinement layer for bplint.
+
+When the clang python bindings (`pip install libclang` or the distro's
+python3-clang) and a libclang shared library are available, this module
+sharpens BP001's variable-type resolution: instead of trusting the
+lexical declaration table (identifier -> "was declared somewhere with
+an unordered_* type"), it parses each translation unit off the CMake
+compile-commands database and keeps only variables whose canonical type
+really is an unordered container.
+
+Everything degrades gracefully: import failure, a missing libclang.so,
+or a missing compile database all leave the lexical results untouched,
+and for this codebase the two resolutions agree — the fixture self-test
+and the repo gate run identically with or without libclang installed.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Set
+
+try:
+    from clang import cindex  # type: ignore[import-not-found]
+except ImportError as exc:  # pragma: no cover - exercised without libclang
+    raise ImportError("libclang python bindings unavailable") from exc
+
+
+def _index() -> Optional["cindex.Index"]:
+    try:
+        return cindex.Index.create()
+    except cindex.LibclangError:  # bindings present, shared library missing
+        return None
+
+
+def refine_project(project, root: str,
+                   compile_commands_dir: Optional[str]) -> None:
+    index = _index()
+    if index is None or not compile_commands_dir:
+        return
+    db_path = os.path.join(compile_commands_dir, "compile_commands.json")
+    if not os.path.isfile(db_path):
+        return
+    try:
+        db = cindex.CompilationDatabase.fromDirectory(compile_commands_dir)
+    except cindex.CompilationDatabaseError:
+        return
+
+    semantically_unordered: Set[str] = set()
+    seen_decls: Set[str] = set()
+    for facts in project.files:
+        full = os.path.join(root, facts.path)
+        commands = db.getCompileCommands(full)
+        if not commands:
+            continue
+        args = [a for a in list(commands[0].arguments)[1:]
+                if a not in (full, "-c", "-o")][:64]
+        try:
+            tu = index.parse(full, args=args)
+        except cindex.TranslationUnitLoadError:
+            continue
+        for cursor in tu.cursor.walk_preorder():
+            if cursor.kind not in (cindex.CursorKind.VAR_DECL,
+                                   cindex.CursorKind.FIELD_DECL):
+                continue
+            name = cursor.spelling
+            if not name:
+                continue
+            seen_decls.add(name)
+            canonical = cursor.type.get_canonical().spelling
+            if "unordered_map" in canonical or "unordered_set" in canonical:
+                semantically_unordered.add(name)
+
+    # Only *narrow* the lexical set: a name the lexical pass classified
+    # as unordered is kept only if no semantic declaration contradicts
+    # it. Names libclang never saw (headers outside the TU set) stay.
+    confirmed = set()
+    for name in project.unordered_vars:
+        if name in seen_decls and name not in semantically_unordered:
+            continue  # lexical false positive: semantically ordered
+        confirmed.add(name)
+    project.unordered_vars = confirmed

@@ -1,0 +1,611 @@
+"""Structural facts bplint extracts from one C++ file.
+
+Everything here is token-stream pattern matching over lexer.lex()
+output. The extraction is intentionally conservative: rules only fire
+on patterns the model recognized positively, so an unrecognized
+construct degrades to silence, never to a false diagnostic.
+
+Facts per file (see FileFacts):
+  * enums (name, base, enumerators) and whether they are message-type
+    enums (name ends in "MessageType" or the base mentions MessageType)
+  * structs/classes with their data fields and method bodies (inline
+    and, project-wide via Project, out-of-line `T::Method` definitions)
+  * switch statements (subject tokens, case labels, default presence),
+    parsed recursively so nested switches don't leak labels outward
+  * iterations: range-for targets and `it = x.begin()` style loops,
+    with their body token slices
+  * unordered_map/unordered_set variable names (direct declarations
+    and via `using Alias = std::unordered_...` aliases)
+  * Tracer::Mark call sites and the kTracePhases catalog
+  * `bplint:allow(...)` suppressions and `bplint:` file markers
+  * identifier usage contexts used by BP004 (case labels, ==/!=
+    comparisons)
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from lexer import Tok, lex
+
+SUPPRESS_RE = re.compile(
+    r"bplint:allow\(\s*(BP\d{3}(?:\s*,\s*BP\d{3})*)\s*\)\s*(.*)")
+MARKER_RE = re.compile(r"bplint:([a-z][a-z0-9-]*)")
+
+
+@dataclass
+class Suppression:
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+    used: bool = False
+
+
+@dataclass
+class Enum:
+    name: str
+    base: str
+    line: int
+    enumerators: List[Tuple[str, int]] = field(default_factory=list)
+
+    @property
+    def is_message_type(self) -> bool:
+        return self.name.endswith("MessageType") or "MessageType" in self.base
+
+
+@dataclass
+class Field:
+    name: str
+    type_str: str
+    line: int
+
+
+@dataclass
+class Struct:
+    name: str
+    line: int
+    fields: List[Field] = field(default_factory=list)
+    # method name -> list of body token slices (inline definitions).
+    methods: Dict[str, List[List[Tok]]] = field(default_factory=dict)
+
+
+@dataclass
+class Switch:
+    line: int
+    subject: List[Tok]
+    # (enumerator, line, qualifier-or-None); qualifier is the `Foo` in a
+    # `case Foo::kBar:` label, used to resolve enumerator-name collisions.
+    cases: List[Tuple[str, int, Optional[str]]] = field(default_factory=list)
+    has_default: bool = False
+
+
+@dataclass
+class Iteration:
+    line: int
+    target: str  # final identifier of the iterated expression
+    body: List[Tok] = field(default_factory=list)
+
+
+@dataclass
+class MarkCall:
+    line: int
+    phase: str
+
+
+@dataclass
+class FileFacts:
+    path: str
+    tokens: List[Tok] = field(default_factory=list)
+    suppressions: List[Suppression] = field(default_factory=list)
+    markers: Set[str] = field(default_factory=set)
+    enums: List[Enum] = field(default_factory=list)
+    structs: List[Struct] = field(default_factory=list)
+    # (class, method) -> list of body token slices (out-of-line defs).
+    out_of_line: Dict[Tuple[str, str], List[List[Tok]]] = field(
+        default_factory=dict)
+    switches: List[Switch] = field(default_factory=list)
+    iterations: List[Iteration] = field(default_factory=list)
+    unordered_vars: Set[str] = field(default_factory=set)
+    mark_calls: List[MarkCall] = field(default_factory=list)
+    trace_catalog: List[str] = field(default_factory=list)
+    trace_catalog_line: int = 0
+    string_literals: Set[str] = field(default_factory=set)
+    case_idents: Set[str] = field(default_factory=set)
+    cmp_idents: Set[str] = field(default_factory=set)
+
+
+# ---------------------------------------------------------------------------
+# token scanning helpers
+# ---------------------------------------------------------------------------
+
+_OPEN = {"(": ")", "{": "}", "[": "]"}
+
+
+def match_balanced(toks: Sequence[Tok], i: int) -> int:
+    """toks[i] is an opener; returns index one past its matching closer."""
+    opener = toks[i].text
+    closer = _OPEN[opener]
+    depth = 0
+    n = len(toks)
+    while i < n:
+        t = toks[i].text
+        if t == opener:
+            depth += 1
+        elif t == closer:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return n
+
+
+def match_template(toks: Sequence[Tok], i: int) -> int:
+    """toks[i] is '<'; returns index one past the matching '>'.
+
+    Treats '>>' as two closers. Gives up (returns i+1) on suspicious
+    tokens so a stray less-than comparison can't eat the file.
+    """
+    depth = 0
+    n = len(toks)
+    j = i
+    while j < n:
+        t = toks[j].text
+        if t == "<":
+            depth += 1
+        elif t == ">":
+            depth -= 1
+            if depth == 0:
+                return j + 1
+        elif t == ">>":
+            depth -= 2
+            if depth <= 0:
+                return j + 1
+        elif t in (";", "{", "}"):
+            return i + 1  # not a template argument list after all
+        j += 1
+    return n
+
+
+# ---------------------------------------------------------------------------
+# extraction passes
+# ---------------------------------------------------------------------------
+
+def _parse_enum(toks: List[Tok], i: int, facts: FileFacts) -> int:
+    """toks[i].text == 'enum'. Returns index past the enum body."""
+    n = len(toks)
+    j = i + 1
+    if j < n and toks[j].text in ("class", "struct"):
+        j += 1
+    if j >= n or toks[j].kind != "id":
+        return i + 1  # anonymous enum: skip keyword only
+    name = toks[j].text
+    line = toks[j].line
+    j += 1
+    base = ""
+    if j < n and toks[j].text == ":":
+        k = j + 1
+        base_toks = []
+        while k < n and toks[k].text not in ("{", ";"):
+            base_toks.append(toks[k].text)
+            k += 1
+        base = "".join(base_toks)
+        j = k
+    if j >= n or toks[j].text != "{":
+        return j  # forward declaration
+    end = match_balanced(toks, j)
+    enum = Enum(name=name, base=base, line=line)
+    k = j + 1
+    expect_name = True
+    while k < end - 1:
+        t = toks[k]
+        if expect_name and t.kind == "id":
+            enum.enumerators.append((t.text, t.line))
+            expect_name = False
+        elif t.text == ",":
+            expect_name = True
+        elif t.text in ("(", "{", "["):
+            k = match_balanced(toks, k)
+            continue
+        k += 1
+    facts.enums.append(enum)
+    return end
+
+
+def _field_from_stmt(stmt: List[Tok]) -> Optional[Field]:
+    """A struct-body statement with no '(': extract the declared field."""
+    if not stmt:
+        return None
+    head = stmt[0].text
+    if head in ("using", "typedef", "static", "friend", "public", "private",
+                "protected", "template", "operator"):
+        return None
+    # Name = last identifier before '=', '{', '[' or end.
+    last_id = None
+    last_idx = -1
+    for idx, t in enumerate(stmt):
+        if t.text in ("=", "{", "["):
+            break
+        if t.kind == "id":
+            last_id = t
+            last_idx = idx
+    if last_id is None or last_idx == 0:
+        return None  # a lone type name is not a member declaration
+    type_str = " ".join(t.text for t in stmt[:last_idx])
+    return Field(name=last_id.text, type_str=type_str, line=last_id.line)
+
+
+def _parse_struct(toks: List[Tok], i: int, facts: FileFacts) -> int:
+    """toks[i].text in ('struct','class'). Returns index past the body."""
+    n = len(toks)
+    j = i + 1
+    # Skip attributes / alignas.
+    while j < n and toks[j].text == "[":
+        j = match_balanced(toks, j)
+    if j >= n or toks[j].kind != "id":
+        return i + 1
+    name = toks[j].text
+    line = toks[j].line
+    j += 1
+    if j < n and toks[j].text == ":":  # base clause
+        while j < n and toks[j].text not in ("{", ";"):
+            j += 1
+    if j >= n or toks[j].text != "{":
+        return j  # forward declaration or variable of elaborated type
+    end = match_balanced(toks, j)
+    struct = Struct(name=name, line=line)
+    k = j + 1
+    while k < end - 1:
+        t = toks[k]
+        if t.kind == "id" and t.text in ("public", "private", "protected") \
+                and k + 1 < end and toks[k + 1].text == ":":
+            k += 2
+            continue
+        if t.kind == "id" and t.text == "enum":
+            k = _parse_enum(toks, k, facts)
+            # Consume a trailing ';' if present.
+            if k < end and toks[k].text == ";":
+                k += 1
+            continue
+        if t.kind == "id" and t.text in ("struct", "class"):
+            k = _parse_struct(toks, k, facts)
+            if k < end and toks[k].text == ";":
+                k += 1
+            continue
+        if t.kind == "id" and t.text == "template":
+            # Skip the parameter list, then let the next loop round
+            # handle whatever is declared.
+            k += 1
+            if k < end and toks[k].text == "<":
+                k = match_template(toks, k)
+            continue
+        # Scan one member declaration.
+        stmt: List[Tok] = []
+        saw_paren = False
+        fn_name: Optional[str] = None
+        m = k
+        while m < end - 1:
+            tm = toks[m]
+            if tm.text == ";":
+                m += 1
+                break
+            if tm.text == "(" and not saw_paren:
+                saw_paren = True
+                if stmt and stmt[-1].kind == "id":
+                    fn_name = stmt[-1].text
+                m = match_balanced(toks, m)
+                # cv-qualifiers / noexcept / override between ')' and body.
+                while m < end - 1 and toks[m].kind == "id" and \
+                        toks[m].text in ("const", "noexcept", "override",
+                                         "final"):
+                    m += 1
+                if m < end - 1 and toks[m].text == "=":
+                    # `= default;` / `= delete;` / `= 0;`
+                    while m < end - 1 and toks[m].text != ";":
+                        m += 1
+                    m += 1
+                    break
+                if m < end - 1 and toks[m].text == "{":
+                    body_end = match_balanced(toks, m)
+                    if fn_name:
+                        struct.methods.setdefault(fn_name, []).append(
+                            list(toks[m + 1:body_end - 1]))
+                    m = body_end
+                    break
+                continue
+            if tm.text == "{":
+                m = match_balanced(toks, m)
+                continue
+            if tm.text == "[":
+                m = match_balanced(toks, m)
+                continue
+            stmt.append(tm)
+            m += 1
+        if not saw_paren:
+            fld = _field_from_stmt(stmt)
+            if fld is not None:
+                struct.fields.append(fld)
+        k = max(m, k + 1)
+    if struct.fields or struct.methods:
+        facts.structs.append(struct)
+    return end
+
+
+def _parse_out_of_line(toks: List[Tok], facts: FileFacts) -> None:
+    """Collects `Cls::Method(...) ... { body }` definitions."""
+    n = len(toks)
+    i = 0
+    while i < n:
+        if toks[i].text == "(" and i >= 3 and toks[i - 1].kind == "id" \
+                and toks[i - 2].text == "::" and toks[i - 3].kind == "id":
+            cls = toks[i - 3].text
+            method = toks[i - 1].text
+            j = match_balanced(toks, i)
+            while j < n and toks[j].kind == "id" and \
+                    toks[j].text in ("const", "noexcept", "override", "final"):
+                j += 1
+            if j < n and toks[j].text == "{":
+                end = match_balanced(toks, j)
+                facts.out_of_line.setdefault((cls, method), []).append(
+                    list(toks[j + 1:end - 1]))
+                i = end
+                continue
+        i += 1
+
+
+def _parse_switch_body(toks: List[Tok], start: int, end: int,
+                       sw: Switch, facts: FileFacts) -> None:
+    """Scans [start, end) for case labels; recurses into nested switches."""
+    k = start
+    while k < end:
+        t = toks[k]
+        if t.kind == "id" and t.text == "switch":
+            k = _parse_switch(toks, k, facts)
+            continue
+        if t.kind == "id" and t.text == "case":
+            label: List[Tok] = []
+            m = k + 1
+            while m < end and toks[m].text != ":":
+                label.append(toks[m])
+                m += 1
+            label_id = None
+            label_idx = -1
+            for li, lt in enumerate(label):
+                if lt.kind == "id":
+                    label_id = lt  # last identifier wins (handles Foo::kBar)
+                    label_idx = li
+            if label_id is not None:
+                qualifier = None
+                if label_idx >= 2 and label[label_idx - 1].text == "::" and \
+                        label[label_idx - 2].kind == "id":
+                    qualifier = label[label_idx - 2].text
+                sw.cases.append((label_id.text, label_id.line, qualifier))
+                facts.case_idents.add(label_id.text)
+            k = m + 1
+            continue
+        if t.kind == "id" and t.text == "default":
+            sw.has_default = True
+        k += 1
+
+
+def _parse_switch(toks: List[Tok], i: int, facts: FileFacts) -> int:
+    """toks[i].text == 'switch'. Returns index past the switch statement."""
+    n = len(toks)
+    j = i + 1
+    if j >= n or toks[j].text != "(":
+        return i + 1
+    subj_end = match_balanced(toks, j)
+    subject = list(toks[j + 1:subj_end - 1])
+    k = subj_end
+    if k >= n or toks[k].text != "{":
+        return subj_end
+    body_end = match_balanced(toks, k)
+    sw = Switch(line=toks[i].line, subject=subject)
+    _parse_switch_body(toks, k + 1, body_end - 1, sw, facts)
+    facts.switches.append(sw)
+    return body_end
+
+
+def _final_ident(expr: Sequence[Tok]) -> Optional[str]:
+    last = None
+    for t in expr:
+        if t.kind == "id":
+            last = t.text
+    return last
+
+
+def _loop_body(toks: List[Tok], i: int) -> Tuple[List[Tok], int]:
+    """toks[i] is the first token after a for(...) header."""
+    n = len(toks)
+    if i < n and toks[i].text == "{":
+        end = match_balanced(toks, i)
+        return list(toks[i + 1:end - 1]), end
+    # Single statement body.
+    j = i
+    while j < n and toks[j].text != ";":
+        if toks[j].text in _OPEN:
+            j = match_balanced(toks, j)
+            continue
+        j += 1
+    return list(toks[i:j]), j + 1
+
+
+def _parse_iterations(toks: List[Tok], facts: FileFacts) -> None:
+    n = len(toks)
+    i = 0
+    while i < n:
+        if toks[i].kind == "id" and toks[i].text == "for" and i + 1 < n \
+                and toks[i + 1].text == "(":
+            hdr_end = match_balanced(toks, i + 1)
+            header = toks[i + 2:hdr_end - 1]
+            # Range-for: a top-level single ':' inside the header.
+            colon = -1
+            depth = 0
+            for idx, t in enumerate(header):
+                if t.text in _OPEN:
+                    depth += 1
+                elif t.text in (")", "}", "]"):
+                    depth -= 1
+                elif t.text == ":" and depth == 0:
+                    colon = idx
+                    break
+            target: Optional[str] = None
+            if colon >= 0:
+                target = _final_ident(header[colon + 1:])
+            else:
+                # Classic loop over iterators: look for `X.begin()` /
+                # `X->begin()` in the init clause.
+                for idx in range(len(header) - 2):
+                    if header[idx + 1].text in (".", "->") and \
+                            header[idx + 2].text == "begin" and \
+                            header[idx].kind == "id":
+                        target = header[idx].text
+                        break
+            body, nxt = _loop_body(toks, hdr_end)
+            if target is not None:
+                facts.iterations.append(
+                    Iteration(line=toks[i].line, target=target, body=body))
+            i = hdr_end  # re-scan the body for nested loops
+            continue
+        i += 1
+
+
+def _parse_unordered(toks: List[Tok], facts: FileFacts) -> None:
+    n = len(toks)
+    aliases: Set[str] = set()
+    i = 0
+    while i < n:
+        t = toks[i]
+        if t.kind == "id" and t.text in ("unordered_map", "unordered_set",
+                                         "unordered_multimap",
+                                         "unordered_multiset"):
+            # Alias? `using Name = std::unordered_...<...>`
+            back = i - 1
+            while back >= 0 and toks[back].text in ("::", "std"):
+                back -= 1
+            if back >= 1 and toks[back].text == "=" and \
+                    toks[back - 1].kind == "id" and back >= 2 and \
+                    toks[back - 2].text == "using":
+                aliases.add(toks[back - 1].text)
+            j = i + 1
+            if j < n and toks[j].text == "<":
+                j = match_template(toks, j)
+            # Skip ref/pointer/const between the type and the name.
+            while j < n and toks[j].text in ("&", "*", "const"):
+                j += 1
+            if j < n and toks[j].kind == "id":
+                facts.unordered_vars.add(toks[j].text)
+            i = j
+            continue
+        i += 1
+    # Second pass: variables declared with an alias type.
+    if aliases:
+        for i in range(n - 1):
+            if toks[i].kind == "id" and toks[i].text in aliases and \
+                    toks[i + 1].kind == "id":
+                facts.unordered_vars.add(toks[i + 1].text)
+
+
+def _parse_marks_and_catalog(toks: List[Tok], facts: FileFacts) -> None:
+    n = len(toks)
+    i = 0
+    while i < n:
+        t = toks[i]
+        if t.kind == "id" and t.text == "Mark" and i + 1 < n and \
+                toks[i + 1].text == "(":
+            end = match_balanced(toks, i + 1)
+            args = toks[i + 2:end - 1]
+            # Split at top-level commas; the phase is argument #2.
+            depth = 0
+            arg_idx = 0
+            phase: Optional[Tok] = None
+            for a in args:
+                if a.text in _OPEN:
+                    depth += 1
+                elif a.text in (")", "}", "]"):
+                    depth -= 1
+                elif a.text == "," and depth == 0:
+                    arg_idx += 1
+                    continue
+                if arg_idx == 1 and a.kind == "str" and phase is None:
+                    phase = a
+            if phase is not None:
+                facts.mark_calls.append(MarkCall(line=phase.line,
+                                                phase=phase.text))
+            i = end
+            continue
+        if t.kind == "id" and t.text == "kTracePhases":
+            j = i + 1
+            while j < n and toks[j].text not in ("{", ";"):
+                j += 1
+            if j < n and toks[j].text == "{":
+                end = match_balanced(toks, j)
+                facts.trace_catalog = [a.text for a in toks[j + 1:end - 1]
+                                       if a.kind == "str"]
+                facts.trace_catalog_line = t.line
+                i = end
+                continue
+        i += 1
+
+
+def _parse_usage_contexts(toks: List[Tok], facts: FileFacts) -> None:
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind == "str":
+            facts.string_literals.add(t.text)
+        if t.kind == "id":
+            prev = toks[i - 1].text if i > 0 else ""
+            nxt = toks[i + 1].text if i + 1 < n else ""
+            if prev in ("==", "!=") or nxt in ("==", "!="):
+                facts.cmp_idents.add(t.text)
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+def analyze_file(path: str, text: str) -> FileFacts:
+    toks, comments = lex(text)
+    facts = FileFacts(path=path, tokens=toks)
+
+    for line, comment in comments:
+        m = SUPPRESS_RE.search(comment)
+        if m:
+            rules = tuple(r.strip() for r in m.group(1).split(","))
+            facts.suppressions.append(
+                Suppression(line=line, rules=rules, reason=m.group(2).strip()))
+            continue
+        for marker in MARKER_RE.findall(comment):
+            if marker != "allow":
+                facts.markers.add(marker)
+
+    i = 0
+    n = len(toks)
+    while i < n:
+        t = toks[i]
+        if t.kind == "id" and t.text == "enum":
+            i = _parse_enum(toks, i, facts)
+            continue
+        if t.kind == "id" and t.text in ("struct", "class"):
+            nxt = _parse_struct(toks, i, facts)
+            if nxt <= i:
+                nxt = i + 1
+            i = nxt
+            continue
+        i += 1
+
+    _parse_out_of_line(toks, facts)
+
+    i = 0
+    while i < n:
+        if toks[i].kind == "id" and toks[i].text == "switch":
+            i = _parse_switch(toks, i, facts)
+            continue
+        i += 1
+
+    _parse_iterations(toks, facts)
+    _parse_unordered(toks, facts)
+    _parse_marks_and_catalog(toks, facts)
+    _parse_usage_contexts(toks, facts)
+    return facts

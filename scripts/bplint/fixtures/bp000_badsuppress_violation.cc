@@ -1,0 +1,12 @@
+// Fixture: BP000 — suppression hygiene. A reasonless allow is never
+// honored (the diagnostic it targeted still fires), and a suppression
+// with nothing to suppress is stale and must be removed.
+// bplint:consensus-path
+
+// bplint:allow(BP005)
+double Reasonless() { return 0.5; }
+
+long long Fine(long long v) {
+  // bplint:allow(BP005) stale: the double below was converted long ago
+  return v * 2;
+}

@@ -1,0 +1,56 @@
+// Fixture: BP001 clean — unordered containers are fine as long as the
+// iteration order never escapes; exporters sort keys first.
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+struct Encoder {
+  void PutU64(unsigned long long v);
+  void PutU32(unsigned v);
+};
+
+class PeerTable {
+ public:
+  // Sort the keys before emission: deterministic bytes.
+  void EncodePeers(Encoder* enc) const {
+    std::vector<std::pair<unsigned, unsigned long long>> sorted_peers(
+        peers_.begin(), peers_.end());
+    std::sort(sorted_peers.begin(), sorted_peers.end());
+    for (const auto& [id, seq] : sorted_peers) {
+      enc->PutU32(id);
+      enc->PutU64(seq);
+    }
+  }
+
+  // Order-independent aggregation over an unordered container is fine.
+  unsigned long long TotalSeq() const {
+    unsigned long long total = 0;
+    for (const auto& [id, seq] : peers_) {
+      total += seq;
+    }
+    return total;
+  }
+
+  // An ordered container iterates deterministically by construction.
+  void EncodeAcked(Encoder* enc) const {
+    for (const auto& [id, seq] : acked_) {
+      enc->PutU32(id);
+      enc->PutU64(seq);
+    }
+  }
+
+  // A justified, documented exception uses the suppression syntax.
+  void EncodeSingleton(Encoder* enc) const {
+    // bplint:allow(BP001) the map holds at most one element by invariant
+    for (const auto& [id, seq] : peers_) {
+      enc->PutU32(id);
+    }
+  }
+
+ private:
+  std::unordered_map<unsigned, unsigned long long> peers_;
+  std::map<unsigned, unsigned long long> acked_;
+};

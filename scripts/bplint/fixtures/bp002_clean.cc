@@ -1,0 +1,38 @@
+// Fixture: BP002 clean — all randomness and time flow from the seeded
+// simulator, so every run replays bit for bit.
+
+namespace sim {
+class Rng {
+ public:
+  explicit Rng(unsigned long long seed);
+  unsigned long long NextU64();
+  unsigned long long NextBelow(unsigned long long n);
+};
+class Simulator {
+ public:
+  long long Now() const;
+};
+}  // namespace sim
+
+unsigned long long SimNow(const sim::Simulator& simulator) {
+  return static_cast<unsigned long long>(simulator.Now());
+}
+
+unsigned long long SeededJitter(sim::Rng* rng, unsigned long long span) {
+  return rng->NextBelow(span + 1);
+}
+
+// An object may legitimately expose a method named time() or rand();
+// only the global/std functions are entropy sources.
+struct Stopwatch {
+  long long time() const { return elapsed_ns; }
+  long long elapsed_ns = 0;
+};
+
+long long ReadStopwatch(const Stopwatch& sw) { return sw.time(); }
+
+// A justified, documented exception uses the suppression syntax.
+long long DebugWallClock() {
+  // bplint:allow(BP002) debug-only helper, compiled out of replay builds
+  return time(nullptr);
+}

@@ -1,0 +1,26 @@
+// Fixture: BP002 — wall-clock time and unseeded entropy outside
+// src/sim and bench/ break bit-for-bit replay.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned long long WallClockNow() {
+  auto now = std::chrono::system_clock::now();  // forbidden: wall clock
+  return static_cast<unsigned long long>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          now.time_since_epoch())
+          .count());
+}
+
+int UnseededJitter() {
+  std::random_device rd;    // forbidden: hardware entropy
+  std::mt19937 gen(rd());   // forbidden: stdlib generator (not replayable)
+  return static_cast<int>(gen());
+}
+
+int LegacyJitter() {
+  srand(42);                           // forbidden: process-global PRNG
+  int base = rand() % 100;             // forbidden
+  return base + static_cast<int>(time(nullptr) % 7);  // forbidden
+}

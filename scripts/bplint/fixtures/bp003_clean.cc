@@ -1,0 +1,56 @@
+// Fixture: BP003 clean — every field appears in Encode, Decode, and
+// the canonical/digest path; signature fields are digest-exempt (a
+// signature cannot cover itself), and a payload whose integrity rides
+// on an embedded digest documents that with a suppression.
+// bplint:wire-coverage
+struct Encoder {
+  void PutU64(unsigned long long v);
+  void PutBytes(int b);
+};
+struct Decoder {
+  bool GetU64(unsigned long long* v);
+  bool GetBytes(int* b);
+};
+using Bytes = int;
+struct Signature {
+  int bytes = 0;
+};
+
+struct SampleMsg {
+  unsigned long long view = 0;
+  unsigned long long seq = 0;
+  Bytes digest = 0;
+  Bytes value = 0;  // bplint:allow(BP003) integrity bound via digest field
+  Signature sig;    // signatures never cover themselves
+
+  Bytes Encode() const;
+  static bool Decode(const Bytes& buf, SampleMsg* out);
+  Bytes CanonicalBody() const;
+};
+
+Bytes SampleMsg::Encode() const {
+  Encoder enc;
+  enc.PutU64(view);
+  enc.PutU64(seq);
+  enc.PutBytes(digest);
+  enc.PutBytes(value);
+  enc.PutU64(static_cast<unsigned long long>(sig.bytes));
+  return 0;
+}
+
+bool SampleMsg::Decode(const Bytes& buf, SampleMsg* out) {
+  Decoder dec;
+  if (!dec.GetU64(&out->view)) return false;
+  if (!dec.GetU64(&out->seq)) return false;
+  if (!dec.GetBytes(&out->digest)) return false;
+  if (!dec.GetBytes(&out->value)) return false;
+  return dec.GetBytes(&out->sig.bytes);
+}
+
+Bytes SampleMsg::CanonicalBody() const {
+  Encoder enc;
+  enc.PutU64(view);
+  enc.PutU64(seq);
+  enc.PutBytes(digest);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fixture: BP003 — wire-struct field coverage. Adding a field and
+// forgetting it in Decode or in the digest/canonical path is the
+// silent-mismatch bug class the PR-4 soak kept catching.
+// bplint:wire-coverage
+struct Encoder {
+  void PutU64(unsigned long long v);
+  void PutU32(unsigned v);
+};
+struct Decoder {
+  bool GetU64(unsigned long long* v);
+  bool GetU32(unsigned* v);
+};
+using Bytes = int;
+using Digest = int;
+
+struct SampleMsg {
+  unsigned long long view = 0;
+  unsigned long long seq = 0;
+  // This field was added later and is covered by Encode only: Decode
+  // silently drops it and the digest does not bind it.
+  unsigned long long epoch = 0;
+  // This one is not even encoded.
+  unsigned site = 0;
+
+  Bytes Encode() const;
+  static bool Decode(const Bytes& buf, SampleMsg* out);
+  Bytes CanonicalBody() const;
+};
+
+Bytes SampleMsg::Encode() const {
+  Encoder enc;
+  enc.PutU64(view);
+  enc.PutU64(seq);
+  enc.PutU64(epoch);
+  return 0;
+}
+
+bool SampleMsg::Decode(const Bytes& buf, SampleMsg* out) {
+  Decoder dec;
+  if (!dec.GetU64(&out->view)) return false;
+  return dec.GetU64(&out->seq);
+}
+
+Bytes SampleMsg::CanonicalBody() const {
+  Encoder enc;
+  enc.PutU64(view);
+  enc.PutU64(seq);
+  return 0;
+}

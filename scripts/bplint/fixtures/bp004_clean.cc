@@ -1,0 +1,43 @@
+// Fixture: BP004 clean — either enumerate every message type or carry
+// an explicit default; every enumerator is dispatched somewhere.
+using MessageType = unsigned;
+
+enum DemoMessageType : MessageType {
+  kPing = 401,
+  kPong = 402,
+  kGapNotice = 403,
+};
+
+struct Message {
+  MessageType type = 0;
+};
+
+void HandlePing(const Message& msg);
+void HandlePong(const Message& msg);
+void HandleGapNotice(const Message& msg);
+
+void HandleMessage(const Message& msg) {
+  switch (msg.type) {
+    case kPing:
+      HandlePing(msg);
+      break;
+    case kPong:
+      HandlePong(msg);
+      break;
+    case kGapNotice:
+      HandleGapNotice(msg);
+      break;
+  }
+}
+
+// A subset handler is fine with an explicit default: the type still
+// has a home in HandleMessage above.
+void HandlePingOnly(const Message& msg) {
+  switch (msg.type) {
+    case kPing:
+      HandlePing(msg);
+      break;
+    default:
+      break;  // not ours
+  }
+}

@@ -1,0 +1,31 @@
+// Fixture: BP004 — message-type dispatch exhaustiveness. MessageType
+// is a plain uint32 on the wire, so -Wswitch-enum cannot help here:
+// only bplint knows these case labels belong to an enum.
+using MessageType = unsigned;
+
+enum DemoMessageType : MessageType {
+  kPing = 401,
+  kPong = 402,
+  kGapNotice = 403,  // freshly added; nobody handles it anywhere
+};
+
+struct Message {
+  MessageType type = 0;
+};
+
+void HandlePing(const Message& msg);
+void HandlePong(const Message& msg);
+
+// Non-exhaustive switch without a default: kPong and kGapNotice fall
+// straight through and are silently dropped.
+void HandleMessage(const Message& msg) {
+  switch (msg.type) {
+    case kPing:
+      HandlePing(msg);
+      break;
+  }
+}
+
+// kPong at least appears in a comparison-dispatch elsewhere...
+bool IsPong(const Message& msg) { return msg.type == kPong; }
+// ...but kGapNotice is dispatched nowhere in the project.

@@ -1,0 +1,18 @@
+// Fixture: BP005 clean — the same backoff computed with saturating
+// integer arithmetic and permille fractions.
+// bplint:consensus-path
+
+long long BackoffDelay(long long base, int attempts, long long cap) {
+  long long delay = base;
+  for (int i = 0; i < attempts && delay < cap; ++i) delay *= 2;
+  if (delay > cap) delay = cap;
+  const long long jitter_permille = 200;
+  return delay + delay * jitter_permille / 1000;
+}
+
+// Observability-only math may use FP when justified and documented.
+// bplint:allow(BP005) reporting-only ratio, never read by the protocol
+double HitRate(long long hits, long long misses) {
+  // bplint:allow(BP005) reporting-only ratio, never read by the protocol
+  return static_cast<double>(hits) / static_cast<double>(hits + misses);
+}

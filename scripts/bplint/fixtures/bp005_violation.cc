@@ -1,0 +1,13 @@
+// Fixture: BP005 — floating point in a consensus/state-machine path.
+// FP rounding is not guaranteed bit-identical across libm versions and
+// optimization levels, so digests and quorum arithmetic must be
+// integral.
+// bplint:consensus-path
+
+long long BackoffDelay(long long base, int attempts) {
+  double factor = 1.0;  // forbidden: FP in the consensus path
+  for (int i = 0; i < attempts; ++i) factor *= 2.0;
+  float jitter = 0.2f;  // forbidden
+  return static_cast<long long>(static_cast<double>(base) * factor *
+                                (1.0 + jitter));
+}

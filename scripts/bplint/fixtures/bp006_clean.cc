@@ -1,0 +1,33 @@
+// Fixture: BP006 clean — every counter is registered under its own
+// name and every Mark() phase is in the catalog (and vice versa).
+
+struct DemoStats {
+  long long cache_hits = 0;
+  long long cache_misses = 0;
+  void Reset() { *this = DemoStats{}; }
+};
+
+struct Registry {
+  void RegisterCounter(const char* name, long long* value);
+};
+
+void RegisterDemo(Registry* reg, DemoStats* stats) {
+  reg->RegisterCounter("cache_hits", &stats->cache_hits);
+  reg->RegisterCounter("cache_misses", &stats->cache_misses);
+}
+
+inline constexpr const char* kTracePhases[] = {
+    "submit",
+    "committed",
+    "done",
+};
+
+struct Tracer {
+  void Mark(unsigned long long trace, const char* phase, long long ts);
+};
+
+void Instrument(Tracer* tr, unsigned long long trace, long long now) {
+  tr->Mark(trace, "submit", now);
+  tr->Mark(trace, "committed", now);
+  tr->Mark(trace, "done", now);
+}

@@ -1,0 +1,34 @@
+// Fixture: BP006 — metrics/trace hygiene. A counter that is never
+// registered with MetricsRegistry is invisible to bench_metrics_dump
+// and scripts/check.sh; a Mark() phase outside the kTracePhases
+// catalog silently truncates latency breakdowns.
+
+struct DemoStats {
+  long long cache_hits = 0;
+  long long cache_misses = 0;  // never registered below: invisible
+  void Reset() { *this = DemoStats{}; }
+};
+
+struct Registry {
+  void RegisterCounter(const char* name, long long* value);
+};
+
+void RegisterDemo(Registry* reg, DemoStats* stats) {
+  reg->RegisterCounter("cache_hits", &stats->cache_hits);
+  // forgot: cache_misses
+}
+
+inline constexpr const char* kTracePhases[] = {
+    "submit",
+    "committed",
+    "done",  // declared terminal phase, but no Mark() ever closes on it
+};
+
+struct Tracer {
+  void Mark(unsigned long long trace, const char* phase, long long ts);
+};
+
+void Instrument(Tracer* tr, unsigned long long trace, long long now) {
+  tr->Mark(trace, "submit", now);
+  tr->Mark(trace, "comitted", now);  // typo: not in the catalog
+}

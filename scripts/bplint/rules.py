@@ -1,0 +1,390 @@
+"""The bplint rule catalog (BP001-BP006 + BP000 meta checks).
+
+Each rule is a function over the Project (all analyzed files' facts)
+that yields Diagnostic objects. Diagnostics are deduplicated and sorted
+by the engine, so rules are free to emit in any order.
+
+Rule catalog (see DESIGN.md section 11 for the rationale):
+
+  BP001  unordered-container iteration whose order escapes into wire
+         encoding, digests, JSON/metrics export, or event scheduling.
+  BP002  forbidden entropy/time sources outside src/sim and bench/
+         (all randomness must flow from the seeded simulator RNG).
+  BP003  wire-struct field coverage: every field of a struct in a
+         `bplint:wire-coverage` header must appear in its Encode,
+         Decode, and digest path (signature fields are digest-exempt).
+  BP004  message-type dispatch exhaustiveness: switches over
+         *MessageType enums must be exhaustive or carry a default, and
+         every enumerator must be dispatched somewhere in the project.
+  BP005  no floating point in consensus/state-machine/digest paths
+         (src/core, src/pbft, src/paxos, src/crypto, or files marked
+         `bplint:consensus-path`).
+  BP006  metrics/trace hygiene: every *Stats counter is registered
+         with MetricsRegistry, and every Tracer::Mark phase is in the
+         kTracePhases catalog (and vice versa).
+  BP000  linter hygiene: malformed or unused `bplint:allow` comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from cppmodel import Enum, FileFacts, Struct, Tok
+
+RULE_DESCRIPTIONS = [
+    ("BP001", "unordered-container iteration order escapes into an "
+              "order-sensitive sink (wire encoding, digest, JSON/metrics "
+              "export, event scheduling)"),
+    ("BP002", "forbidden entropy/time source outside src/sim and bench/ "
+              "(use the seeded simulator RNG / simulated clock)"),
+    ("BP003", "wire-struct field missing from its Encode, Decode, or "
+              "digest path (bplint:wire-coverage headers)"),
+    ("BP004", "message-type enum dispatch is non-exhaustive or an "
+              "enumerator is never dispatched"),
+    ("BP005", "floating point in a consensus/state-machine/digest path"),
+    ("BP006", "metrics counter not registered with MetricsRegistry, or "
+              "trace phase mark outside the kTracePhases catalog"),
+]
+
+ALL_RULES = [r for r, _ in RULE_DESCRIPTIONS]
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+class Project:
+    """All analyzed files plus the cross-file indexes rules need."""
+
+    def __init__(self, files: Sequence[FileFacts]):
+        self.files = list(files)
+        self.unordered_vars: Set[str] = set()
+        self.string_literals: Set[str] = set()
+        self.case_idents: Set[str] = set()
+        self.cmp_idents: Set[str] = set()
+        self.message_enums: List[Tuple[FileFacts, Enum]] = []
+        self.enumerator_owner: Dict[str, Enum] = {}
+        # (class, method) -> bodies, merged across files.
+        self.methods: Dict[Tuple[str, str], List[List[Tok]]] = {}
+        for f in self.files:
+            self.unordered_vars |= f.unordered_vars
+            self.string_literals |= f.string_literals
+            self.case_idents |= f.case_idents
+            self.cmp_idents |= f.cmp_idents
+            for enum in f.enums:
+                if enum.is_message_type:
+                    self.message_enums.append((f, enum))
+                    for name, _ in enum.enumerators:
+                        self.enumerator_owner[name] = enum
+            for key, bodies in f.out_of_line.items():
+                self.methods.setdefault(key, []).extend(bodies)
+            for struct in f.structs:
+                for mname, bodies in struct.methods.items():
+                    self.methods.setdefault((struct.name, mname),
+                                            []).extend(bodies)
+
+    def bodies_of(self, cls: str, names: Iterable[str]) -> List[List[Tok]]:
+        out: List[List[Tok]] = []
+        for name in names:
+            out.extend(self.methods.get((cls, name), []))
+        return out
+
+
+# ---------------------------------------------------------------------------
+# BP001
+# ---------------------------------------------------------------------------
+
+# Identifier prefixes/names whose reachability from an unordered loop
+# means iteration order escaped into something order-sensitive.
+_SINK_PREFIXES = ("Put", "Append", "Encode", "Sha256", "Digest")
+_SINK_IDENTS = {
+    "EncodeTo", "Update", "ToJson", "ToChromeTrace", "Json", "Schedule",
+    "ScheduleAt", "Send", "SendTo", "SendShared", "Broadcast", "Increment",
+    "write", "append", "ContentDigest",
+}
+
+
+def _first_sink(body: Sequence[Tok]) -> Tuple[str, int]:
+    for t in body:
+        if t.kind == "id":
+            if t.text in _SINK_IDENTS or \
+                    any(t.text.startswith(p) for p in _SINK_PREFIXES):
+                return t.text, t.line
+        elif t.kind == "punct" and t.text == "<<":
+            return "<<", t.line
+    return "", 0
+
+
+def rule_bp001(project: Project) -> Iterable[Diagnostic]:
+    for f in project.files:
+        for it in f.iterations:
+            if it.target not in project.unordered_vars:
+                continue
+            sink, _ = _first_sink(it.body)
+            if not sink:
+                continue
+            yield Diagnostic(
+                f.path, it.line, "BP001",
+                f"iteration over unordered container '{it.target}' reaches "
+                f"order-sensitive sink '{sink}'; iterate a sorted copy or "
+                f"use an ordered container")
+
+
+# ---------------------------------------------------------------------------
+# BP002
+# ---------------------------------------------------------------------------
+
+_ENTROPY_IDENTS = {
+    "random_device", "mt19937", "mt19937_64", "minstd_rand", "ranlux24",
+    "default_random_engine", "system_clock", "steady_clock",
+    "high_resolution_clock", "clock_gettime", "gettimeofday", "srand",
+    "timespec_get", "getrandom", "arc4random",
+}
+# Flagged only in call position (bare or std::-qualified).
+_ENTROPY_CALLS = {"rand", "time", "clock"}
+
+
+def _bp002_exempt(path: str) -> bool:
+    return path.startswith(("src/sim/", "bench/")) or "/sim/" in path
+
+
+def rule_bp002(project: Project) -> Iterable[Diagnostic]:
+    for f in project.files:
+        if _bp002_exempt(f.path):
+            continue
+        toks = f.tokens
+        n = len(toks)
+        for i, t in enumerate(toks):
+            if t.kind != "id":
+                continue
+            if t.text in _ENTROPY_IDENTS:
+                yield Diagnostic(
+                    f.path, t.line, "BP002",
+                    f"forbidden entropy/time source '{t.text}'; all "
+                    f"randomness and time must come from the seeded "
+                    f"simulator (sim::Rng, Simulator::Now)")
+                continue
+            if t.text in _ENTROPY_CALLS and i + 1 < n and \
+                    toks[i + 1].text == "(":
+                prev = toks[i - 1].text if i > 0 else ""
+                prev_kind = toks[i - 1].kind if i > 0 else ""
+                if prev in (".", "->"):
+                    continue  # a method named rand()/time() on some object
+                if prev == "::" and (i < 2 or toks[i - 2].text != "std"):
+                    continue  # qualified into some non-std namespace
+                if prev_kind == "id" and prev not in (
+                        "return", "co_return", "throw", "case", "else",
+                        "do", "std"):
+                    continue  # declaration `Type time(...)`, not a call
+                yield Diagnostic(
+                    f.path, t.line, "BP002",
+                    f"forbidden entropy/time source '{t.text}()'; all "
+                    f"randomness and time must come from the seeded "
+                    f"simulator (sim::Rng, Simulator::Now)")
+
+
+# ---------------------------------------------------------------------------
+# BP003
+# ---------------------------------------------------------------------------
+
+_ENCODE_FNS = ("Encode", "EncodeTo")
+_DECODE_FNS = ("Decode", "DecodeFrom")
+_DIGEST_FNS = ("CanonicalBody", "CanonicalHeader", "ContentDigest", "Digest")
+
+
+def _closure_idents(project: Project, cls: str,
+                    bodies: List[List[Tok]]) -> Set[str]:
+    """Identifiers in `bodies`, expanded through same-struct helper calls."""
+    idents: Set[str] = set()
+    seen_methods: Set[str] = set()
+    queue = list(bodies)
+    while queue:
+        body = queue.pop()
+        for t in body:
+            if t.kind != "id":
+                continue
+            idents.add(t.text)
+            if t.text not in seen_methods and \
+                    (cls, t.text) in project.methods:
+                seen_methods.add(t.text)
+                queue.extend(project.methods[(cls, t.text)])
+    return idents
+
+
+def rule_bp003(project: Project) -> Iterable[Diagnostic]:
+    for f in project.files:
+        if "wire-coverage" not in f.markers:
+            continue
+        for struct in f.structs:
+            encode_bodies = project.bodies_of(struct.name, _ENCODE_FNS)
+            if not encode_bodies:
+                continue  # encoded inline by a parent message, if at all
+            decode_bodies = project.bodies_of(struct.name, _DECODE_FNS)
+            digest_bodies = project.bodies_of(struct.name, _DIGEST_FNS)
+            encode_ids = _closure_idents(project, struct.name, encode_bodies)
+            decode_ids = _closure_idents(project, struct.name, decode_bodies)
+            digest_ids = _closure_idents(project, struct.name, digest_bodies)
+            for fld in struct.fields:
+                if fld.name not in encode_ids:
+                    yield Diagnostic(
+                        f.path, fld.line, "BP003",
+                        f"field '{fld.name}' of {struct.name} is missing "
+                        f"from its Encode path")
+                if decode_bodies and fld.name not in decode_ids:
+                    yield Diagnostic(
+                        f.path, fld.line, "BP003",
+                        f"field '{fld.name}' of {struct.name} is missing "
+                        f"from its Decode path")
+                if digest_bodies and "Signature" not in fld.type_str and \
+                        fld.name not in digest_ids:
+                    yield Diagnostic(
+                        f.path, fld.line, "BP003",
+                        f"field '{fld.name}' of {struct.name} is missing "
+                        f"from its digest/canonical path")
+
+
+# ---------------------------------------------------------------------------
+# BP004
+# ---------------------------------------------------------------------------
+
+def rule_bp004(project: Project) -> Iterable[Diagnostic]:
+    # (a) per-switch exhaustiveness. MessageType is a plain uint32 on the
+    # wire, so the compiler's -Wswitch-enum cannot check these switches;
+    # bplint maps case labels back to their owning enum instead.
+    for f in project.files:
+        for sw in f.switches:
+            owners: Dict[str, int] = {}
+            for label, _, qualifier in sw.cases:
+                enum = project.enumerator_owner.get(label)
+                if enum is None:
+                    continue
+                if qualifier is not None and qualifier != enum.name:
+                    continue  # `Other::kX` colliding with a message enum
+                owners[enum.name] = owners.get(enum.name, 0) + 1
+            if not owners:
+                continue
+            owner_name = sorted(owners.items(),
+                                key=lambda kv: (-kv[1], kv[0]))[0][0]
+            enum = next(e for _, e in project.message_enums
+                        if e.name == owner_name)
+            if sw.has_default:
+                continue
+            labels = {label for label, _, _ in sw.cases}
+            missing = [name for name, _ in enum.enumerators
+                       if name not in labels]
+            if missing:
+                yield Diagnostic(
+                    f.path, sw.line, "BP004",
+                    f"switch over {enum.name} is not exhaustive and has no "
+                    f"default: missing {', '.join(missing)}")
+
+    # (b) project-level: every message-type enumerator must be dispatched
+    # (a case label or an ==/!= comparison) somewhere, or a freshly added
+    # kGeoGapNotice-style type would be silently dropped by every handler.
+    dispatched = project.case_idents | project.cmp_idents
+    for f, enum in project.message_enums:
+        for name, line in enum.enumerators:
+            if name not in dispatched:
+                yield Diagnostic(
+                    f.path, line, "BP004",
+                    f"message type {name} of {enum.name} is never "
+                    f"dispatched by any handler switch or comparison")
+
+
+# ---------------------------------------------------------------------------
+# BP005
+# ---------------------------------------------------------------------------
+
+_FP_SCOPES = ("src/core/", "src/pbft/", "src/paxos/", "src/crypto/")
+_FP_TOKENS = {"double", "float"}
+
+
+def rule_bp005(project: Project) -> Iterable[Diagnostic]:
+    for f in project.files:
+        in_scope = any(s in f.path for s in _FP_SCOPES) or \
+            f.path.startswith(tuple(s.rstrip("/") for s in _FP_SCOPES)) or \
+            "consensus-path" in f.markers
+        if not in_scope:
+            continue
+        for t in f.tokens:
+            if t.kind == "id" and t.text in _FP_TOKENS:
+                yield Diagnostic(
+                    f.path, t.line, "BP005",
+                    f"floating-point type '{t.text}' in a consensus/"
+                    f"state-machine/digest path; use integer arithmetic "
+                    f"(permille fractions, integer nanoseconds)")
+
+
+# ---------------------------------------------------------------------------
+# BP006
+# ---------------------------------------------------------------------------
+
+def rule_bp006(project: Project) -> Iterable[Diagnostic]:
+    # (a) every counter field of a *Stats struct (a struct with a Reset()
+    # method) must be registered under its own name with MetricsRegistry —
+    # i.e. the field name must appear as a string literal somewhere.
+    for f in project.files:
+        for struct in f.structs:
+            if not struct.name.endswith("Stats"):
+                continue
+            if "Reset" not in struct.methods and \
+                    (struct.name, "Reset") not in project.methods:
+                continue
+            for fld in struct.fields:
+                if fld.name not in project.string_literals:
+                    yield Diagnostic(
+                        f.path, fld.line, "BP006",
+                        f"counter '{fld.name}' of {struct.name} is not "
+                        f"registered with MetricsRegistry (no "
+                        f"\"{fld.name}\" snapshot key anywhere)")
+
+    # (b) trace-phase hygiene against the kTracePhases catalog.
+    catalog: List[str] = []
+    catalog_file: FileFacts = None  # type: ignore[assignment]
+    catalog_line = 0
+    for f in project.files:
+        if f.trace_catalog:
+            catalog.extend(p for p in f.trace_catalog if p not in catalog)
+            if catalog_file is None:
+                catalog_file = f
+                catalog_line = f.trace_catalog_line
+    if not catalog:
+        return
+    used: Set[str] = set()
+    for f in project.files:
+        for call in f.mark_calls:
+            used.add(call.phase)
+            if call.phase not in catalog:
+                yield Diagnostic(
+                    f.path, call.line, "BP006",
+                    f"trace phase \"{call.phase}\" is not in the "
+                    f"kTracePhases catalog; add it (in pipeline order) or "
+                    f"fix the call site")
+    for phase in catalog:
+        if phase not in used:
+            yield Diagnostic(
+                catalog_file.path, catalog_line, "BP006",
+                f"kTracePhases entry \"{phase}\" has no Mark() call site: "
+                f"a span opened earlier can never close on it (stale "
+                f"catalog or missing instrumentation)")
+
+
+RULE_FNS = {
+    "BP001": rule_bp001,
+    "BP002": rule_bp002,
+    "BP003": rule_bp003,
+    "BP004": rule_bp004,
+    "BP005": rule_bp005,
+    "BP006": rule_bp006,
+}

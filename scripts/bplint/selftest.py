@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""bplint self-test: golden-diff over fixtures + per-rule kill checks.
+
+Run from anywhere:
+
+    python3 scripts/bplint/selftest.py [--regold]
+
+Checks performed:
+
+  1. Golden diff. Every fixture under scripts/bplint/fixtures/ is analyzed
+     (each file as its own single-file project, so cross-file rules see
+     only that fixture) and the concatenated diagnostics are compared
+     byte-for-byte against fixtures/golden.txt.  Re-generate with
+     --regold (or env BPLINT_REGOLD=1) after an intentional change.
+
+  2. Per-rule kill check. For each rule BP001..BP006 the matching
+     bp00N_violation.cc fixture must produce at least one diagnostic of
+     that rule, and must produce zero diagnostics of that rule when the
+     rule is disabled.  This is what makes each rule's fixture test fail
+     if the check is disabled or broken.
+
+  3. Clean fixtures. Each bp00N_clean.cc fixture must produce zero
+     diagnostics (suppressions honored, no false positives).
+
+  4. BP000 hygiene. The bad-suppression fixture must report BP000 for
+     both the reasonless allow and the stale allow, and the reasonless
+     allow must NOT silence the BP005 diagnostic it sits above.
+
+  5. Determinism. Two full runs over the fixture set must be
+     byte-identical.
+
+Exit status: 0 on success, 1 on any failure.
+"""
+
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, _HERE)
+
+import engine  # noqa: E402
+from rules import ALL_RULES  # noqa: E402
+
+FIXTURES = os.path.join(_HERE, "fixtures")
+GOLDEN = os.path.join(FIXTURES, "golden.txt")
+
+
+def analyze_fixture(name, disabled=frozenset()):
+    """Analyze one fixture as a standalone single-file project."""
+    path = os.path.join(FIXTURES, name)
+    diags, _ = engine.run([path], root=FIXTURES, compile_commands_dir=None,
+                          disabled=disabled, use_clang=False)
+    return diags
+
+
+def fixture_names():
+    return sorted(f for f in os.listdir(FIXTURES) if f.endswith(".cc"))
+
+
+def render_all():
+    """Produce the golden text: per-fixture header + diagnostics."""
+    out = []
+    for name in fixture_names():
+        out.append("== %s ==" % name)
+        for d in analyze_fixture(name):
+            out.append(str(d))
+    return "\n".join(out) + "\n"
+
+
+def main():
+    regold = "--regold" in sys.argv[1:] or os.environ.get("BPLINT_REGOLD") == "1"
+    failures = []
+
+    # --- 1. golden diff -------------------------------------------------
+    text = render_all()
+    if regold:
+        with open(GOLDEN, "w") as f:
+            f.write(text)
+        print("selftest: regenerated %s (%d lines)"
+              % (GOLDEN, text.count("\n")))
+    if not os.path.exists(GOLDEN):
+        failures.append("golden file missing: %s (run with --regold)" % GOLDEN)
+    else:
+        with open(GOLDEN) as f:
+            want = f.read()
+        if text != want:
+            failures.append("golden mismatch (run with --regold if intended)")
+            import difflib
+            for line in difflib.unified_diff(
+                    want.splitlines(), text.splitlines(),
+                    "golden.txt", "actual", lineterm=""):
+                print(line)
+
+    # --- 2. per-rule kill check ----------------------------------------
+    for rule in sorted(ALL_RULES):
+        n = int(rule[2:])
+        name = "bp%03d_violation.cc" % n
+        if not os.path.exists(os.path.join(FIXTURES, name)):
+            failures.append("missing violation fixture for %s" % rule)
+            continue
+        hits = [d for d in analyze_fixture(name) if d.rule == rule]
+        if not hits:
+            failures.append("%s: %s produced no %s diagnostics"
+                            % (rule, name, rule))
+        off = [d for d in analyze_fixture(name, disabled={rule})
+               if d.rule == rule]
+        if off:
+            failures.append("%s: diagnostics survived --disable=%s"
+                            % (rule, rule))
+
+    # --- 3. clean fixtures ---------------------------------------------
+    for name in fixture_names():
+        if "_clean" not in name:
+            continue
+        diags = analyze_fixture(name)
+        if diags:
+            failures.append("%s: expected clean, got %d diagnostic(s): %s"
+                            % (name, len(diags), "; ".join(map(str, diags))))
+
+    # --- 4. BP000 hygiene ----------------------------------------------
+    bad = analyze_fixture("bp000_badsuppress_violation.cc")
+    bp000 = [d for d in bad if d.rule == "BP000"]
+    bp005 = [d for d in bad if d.rule == "BP005"]
+    if len(bp000) < 2:
+        failures.append("BP000: expected >=2 hygiene diagnostics, got %d"
+                        % len(bp000))
+    if not bp005:
+        failures.append("BP000: reasonless allow silenced the BP005 "
+                        "diagnostic it targeted")
+
+    # --- 5. determinism -------------------------------------------------
+    if render_all() != text:
+        failures.append("nondeterministic output across two identical runs")
+
+    # --- 6. CLI smoke ---------------------------------------------------
+    import subprocess
+    cli = subprocess.run([sys.executable, _HERE, "--list-rules"],
+                         capture_output=True, text=True)
+    if cli.returncode != 0:
+        failures.append("--list-rules exited %d" % cli.returncode)
+    for rule in sorted(ALL_RULES):
+        if rule not in cli.stdout:
+            failures.append("--list-rules does not mention %s" % rule)
+    viol = os.path.join(FIXTURES, "bp005_violation.cc")
+    hit = subprocess.run(
+        [sys.executable, _HERE, "--root", FIXTURES, viol, "--no-clang"],
+        capture_output=True, text=True)
+    if hit.returncode != 1 or "BP005" not in hit.stdout:
+        failures.append("CLI did not flag bp005_violation.cc (rc=%d)"
+                        % hit.returncode)
+    off = subprocess.run(
+        [sys.executable, _HERE, "--root", FIXTURES, viol, "--no-clang",
+         "--disable", "BP005"],
+        capture_output=True, text=True)
+    if off.returncode != 0:
+        failures.append("CLI --disable=BP005 still flagged the fixture "
+                        "(rc=%d)" % off.returncode)
+
+    if failures:
+        for f in failures:
+            print("FAIL: %s" % f, file=sys.stderr)
+        print("selftest: %d failure(s)" % len(failures), file=sys.stderr)
+        return 1
+    print("selftest: OK (%d fixtures, %d rules)"
+          % (len(fixture_names()), len(ALL_RULES)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,9 +12,16 @@
 #      faster (the DESIGN.md §9 pipelining regression gate). Any
 #      BENCH_*.json produced under build/ is copied to the repo root so
 #      results are versioned alongside the code.
-#   4. Static analysis: clang-tidy (bugprone-*, performance-*) over
-#      src/ using the compile database — skipped with a notice when
-#      clang-tidy is not installed.
+#   4a. Static analysis: clang-tidy (.clang-tidy at the repo root; the
+#       gate set is bugprone-* + performance-*) over src/ using the
+#       compile database — skipped with a notice when clang-tidy is not
+#       installed.
+#   4b. bplint: the project-invariant static-analysis suite
+#       (scripts/bplint; rules BP001–BP006 — determinism, entropy
+#       hygiene, wire-field coverage, dispatch exhaustiveness, integer
+#       consensus math, metrics/trace hygiene). Zero unsuppressed
+#       diagnostics required, and two runs must be byte-identical.
+#       Runs even under --fast: it is self-contained Python and <1 s.
 #   5. The same suite under ASan+UBSan in a separate Debug build tree
 #      (build-asan/). The zero-copy payload paths share one allocation
 #      across broadcast fan-out, retransmission buffers, and reorder
@@ -22,7 +29,7 @@
 #      a passing test hides.
 #
 # Usage: scripts/check.sh [--fast|--chaos-smoke]
-#   --fast         skip the clang-tidy and sanitizer passes (passes 1–3 only).
+#   --fast         passes 1–3 + bplint; skip clang-tidy and sanitizers.
 #   --chaos-smoke  quick chaos gate (<60s): build, then run the chaos
 #                  regression + a reduced soak (2 seeds per template via
 #                  CHAOS_SOAK_SEEDS) and the fig-8 chaos bench variant,
@@ -52,10 +59,23 @@ fi
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "=== pass 1: tier-1 build + tests ==="
-cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+echo "=== pass 1: tier-1 build + tests (warnings are errors) ==="
+cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+  -DBLOCKPLANE_WERROR=ON >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure
+
+# Pass 4b (bplint) is cheap and dependency-free, so it also runs in --fast
+# builds. Two back-to-back runs must agree byte for byte: a lint whose
+# output wobbles cannot gate a determinism-obsessed repo.
+run_bplint() {
+  echo "=== pass 4b: bplint (BP001-BP006 project invariants) ==="
+  python3 scripts/bplint -p build src bench | tee build/bplint.out
+  python3 scripts/bplint -p build src bench > build/bplint.rerun.out
+  cmp build/bplint.out build/bplint.rerun.out \
+    || { echo "bplint output is not byte-identical across runs"; exit 1; }
+  echo "bplint clean (byte-identical across two runs)"
+}
 
 echo "=== pass 2: metrics registry snapshot ==="
 build/bench/bench_metrics_dump --out=build/METRICS_dump.json >/dev/null
@@ -76,12 +96,16 @@ cp build/BENCH_*.json . 2>/dev/null || true
 echo "pipeline smoke OK (BENCH_pipeline.json)"
 
 if [[ "$FAST" == "1" ]]; then
+  run_bplint
   echo "=== --fast: skipping clang-tidy and sanitizer passes ==="
   exit 0
 fi
 
-echo "=== pass 4: clang-tidy (bugprone-*, performance-*) ==="
+echo "=== pass 4a: clang-tidy (bugprone-*, performance-*) ==="
 if command -v clang-tidy >/dev/null 2>&1; then
+  # The full check set (with readability/modernize/misc additions) lives
+  # in .clang-tidy for IDEs and `run-clang-tidy`; the merge gate enforces
+  # the bugprone-* + performance-* core.
   mapfile -t TIDY_SOURCES < <(find src -name '*.cc' | sort)
   clang-tidy -p build \
     --quiet \
@@ -92,6 +116,8 @@ if command -v clang-tidy >/dev/null 2>&1; then
 else
   echo "clang-tidy not installed; skipping static analysis pass"
 fi
+
+run_bplint
 
 echo "=== pass 5: ASan+UBSan build + tests ==="
 cmake -B build-asan -S . \

@@ -68,6 +68,22 @@ struct TraceEvent {
   uint64_t arg = 0;
 };
 
+/// The closed catalog of phase-mark names, in pipeline order. Every
+/// Tracer::Mark() call site must use a name from this list and every name
+/// here must have a call site — bplint rule BP006 checks both directions,
+/// so a typo'd phase cannot silently truncate a latency breakdown and a
+/// stale entry cannot linger after the instrumentation moves.
+inline constexpr const char* kTracePhases[] = {
+    "submit",            // client handed the request to the participant
+    "local_committed",   // local PBFT group committed the record
+    "attested",          // f_s+1 transmission attestations collected
+    "transmitted",       // transmission record sent to the destination
+    "remote_committed",  // destination group committed the received record
+    "mirrored",          // geo layer mirrored the record (acting-site flow)
+    "delivered",         // delivered to the destination application
+    "done",              // terminal phase: end-to-end complete
+};
+
 /// One first-wins phase mark of a trace.
 struct TraceMark {
   const char* phase = "";

@@ -1,3 +1,5 @@
+// bplint:wire-coverage — every field below must appear in Encode,
+// Decode, and (where a digest exists) the digest path (BP003).
 // The Local Log record model (§III-B of the paper) and the transmission
 // records exchanged between participants (§IV-C).
 //

@@ -1,3 +1,5 @@
+// bplint:wire-coverage — every field below must appear in Encode,
+// Decode, and (where a digest exists) the digest path (BP003).
 // Small Blockplane-space control messages (attestations, acks, status
 // queries, geo replication) and their encodings.
 #ifndef BLOCKPLANE_CORE_WIRE_H_

@@ -1,3 +1,5 @@
+// bplint:wire-coverage — every field below must appear in Encode
+// and Decode (BP003).
 // Multi-decree Paxos wire messages.
 //
 // Ballots are (round, node-index) pairs packed into a uint64 so that ballots

@@ -358,10 +358,12 @@ void PaxosNode::ResetElectionTimer() {
   if (!failure_detector_ || is_leader_) return;
   sim_->Cancel(election_timer_);
   // Randomized timeout to break symmetry between would-be leaders.
-  sim::SimTime timeout = config_.election_timeout +
-                         static_cast<sim::SimTime>(
-                             rng_.NextDouble() *
-                             static_cast<double>(config_.election_timeout));
+  // Integer draw in [0, election_timeout] keeps the consensus path free of
+  // floating point (BP005), so schedules replay bit-identically.
+  sim::SimTime timeout =
+      config_.election_timeout +
+      static_cast<sim::SimTime>(rng_.NextBelow(
+          static_cast<uint64_t>(config_.election_timeout) + 1));
   election_timer_ = sim_->Schedule(timeout, [this]() {
     election_timer_ = sim::kInvalidEventId;
     if (is_leader_) return;

@@ -31,9 +31,10 @@ struct PbftConfig {
   /// replicas whose timers fired together under a partition do not
   /// re-synchronize into a retry storm (DESIGN.md §10).
   sim::SimTime view_backoff_cap = sim::Seconds(2);
-  /// Uniform jitter added to each escalation delay, as a fraction of the
-  /// backed-off delay (0.2 = up to +20%).
-  double view_backoff_jitter = 0.2;
+  /// Uniform jitter added to each escalation delay, in permille of the
+  /// backed-off delay (200 = up to +20%). Integer so that replicas compute
+  /// bit-identical schedules regardless of libm/optimization level (BP005).
+  uint32_t view_backoff_jitter_permille = 200;
   /// A stable checkpoint is taken (and the log truncated) every this many
   /// executed sequence numbers.
   uint64_t checkpoint_interval = 128;

@@ -1,3 +1,5 @@
+// bplint:wire-coverage — every field below must appear in Encode,
+// Decode, and the canonical (signed) body (BP003).
 // PBFT wire messages and their binary encodings.
 //
 // Every control message is signed over a canonical body that includes a
@@ -59,6 +61,7 @@ struct PrePrepareMsg {
   Digest digest{};
   uint64_t client_token = 0;
   uint64_t req_id = 0;
+  // bplint:allow(BP003) integrity bound via the digest field, as in PBFT
   Bytes value;
   Signature sig;  // over the canonical header
 
@@ -71,7 +74,9 @@ struct PrePrepareMsg {
 /// Prepare and commit share a shape; the type tag in the canonical body
 /// keeps their signatures distinct.
 struct VoteMsg {
-  PbftMessageType type = kPrepare;  // kPrepare or kCommit
+  // kPrepare or kCommit.
+  // bplint:allow(BP003) type rides the net::Message envelope; Decode takes it
+  PbftMessageType type = kPrepare;
   uint64_t view = 0;
   uint64_t seq = 0;
   Digest digest{};
@@ -166,6 +171,7 @@ struct SnapshotMsg {
 struct ViewChangeMsg {
   uint64_t new_view = 0;
   uint64_t last_stable = 0;
+  // bplint:allow(BP003) each PreparedProof carries its own 2f+1 signatures
   std::vector<PreparedProof> prepared;
   Signature sig;  // over (tag, new_view, last_stable)
 

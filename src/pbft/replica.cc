@@ -877,10 +877,12 @@ void PbftReplica::StartViewChange(uint64_t new_view) {
     }
   }
   delay = std::min(delay, config_.view_backoff_cap);
-  if (config_.view_backoff_jitter > 0) {
-    delay += static_cast<sim::SimTime>(backoff_rng_.NextDouble() *
-                                       config_.view_backoff_jitter *
-                                       static_cast<double>(delay));
+  if (config_.view_backoff_jitter_permille > 0) {
+    // Uniform in [0, jitter_permille/1000 * delay], all-integer so the
+    // schedule replays bit-identically (BP005: no FP in consensus paths).
+    const uint64_t span = static_cast<uint64_t>(delay) *
+                          config_.view_backoff_jitter_permille / 1000;
+    delay += static_cast<sim::SimTime>(backoff_rng_.NextBelow(span + 1));
   }
   ++viewchange_attempts_;
   RobustnessStats& rs = robustness_stats();

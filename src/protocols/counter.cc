@@ -92,6 +92,10 @@ void CounterProtocol::InstallAt(net::SiteId site) {
         case core::RecordType::kReceived:
           ++state->receives;
           break;
+        case core::RecordType::kMirrored:
+          // Mirror entries replay another participant's log; the counter
+          // protocol reads them through the geo layer, not the apply hook.
+          break;
         default:
           break;
       }

@@ -87,16 +87,16 @@ void HierPbft::Replicate(net::SiteId leader_site, Bytes value,
 void HierPbft::Coordinator::HandleMessage(const net::Message& msg) {
   switch (msg.type) {
     case kPush: {
-      uint64_t round = 0;
+      uint64_t push_round = 0;
       Bytes value;
-      if (!DecodeRound(msg.body(), &round, &value)) return;
+      if (!DecodeRound(msg.body(), &push_round, &value)) return;
       // 3. Commit the received value into the local SMR log, then ack.
       net::NodeId reply_to = msg.src;
       client->Submit(Bytes(msg.body()),
-                     [this, round, reply_to](uint64_t) {
+                     [this, push_round, reply_to](uint64_t) {
                        ++decided;
                        Encoder enc;
-                       enc.PutU64(round);
+                       enc.PutU64(push_round);
                        net::Message ack;
                        ack.src = self;
                        ack.dst = reply_to;

@@ -532,9 +532,9 @@ INSTANTIATE_TEST_SUITE_P(
     Pairs, CorePairSweepTest,
     ::testing::Combine(::testing::Values(0, 1, 2, 3),
                        ::testing::Values(0, 1, 2, 3)),
-    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
-      return "from" + std::to_string(std::get<0>(info.param)) + "_to" +
-             std::to_string(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& pinfo) {
+      return "from" + std::to_string(std::get<0>(pinfo.param)) + "_to" +
+             std::to_string(std::get<1>(pinfo.param));
     });
 
 class CoreFiSweepTest : public ::testing::TestWithParam<int> {};
@@ -551,8 +551,8 @@ TEST_P(CoreFiSweepTest, CommitAndSendWorkAcrossFaultLevels) {
 
 INSTANTIATE_TEST_SUITE_P(FaultLevels, CoreFiSweepTest,
                          ::testing::Values(1, 2, 3),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           return "fi" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<int>& pinfo) {
+                           return "fi" + std::to_string(pinfo.param);
                          });
 
 }  // namespace

@@ -437,8 +437,8 @@ TEST_P(FaultSoakTest, CountersConvergeUnderChurn) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultSoakTest, ::testing::Values(1, 2, 3, 4),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           return "seed" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<int>& pinfo) {
+                           return "seed" + std::to_string(pinfo.param);
                          });
 
 }  // namespace

@@ -63,8 +63,8 @@ INSTANTIATE_TEST_SUITE_P(
                       ScheduleTemplate::kPartitionHeavy,
                       ScheduleTemplate::kByzantineHeavy,
                       ScheduleTemplate::kMixed),
-    [](const ::testing::TestParamInfo<ScheduleTemplate>& info) {
-      return ScheduleTemplateName(info.param);
+    [](const ::testing::TestParamInfo<ScheduleTemplate>& pinfo) {
+      return ScheduleTemplateName(pinfo.param);
     });
 
 }  // namespace

@@ -24,9 +24,21 @@ bool IsByzantine(FaultType t) {
     case FaultType::kByzForgeReads:
     case FaultType::kByzReorderGeo:
       return true;
-    default:
+    case FaultType::kCrashNode:
+    case FaultType::kRecoverNode:
+    case FaultType::kCrashSite:
+    case FaultType::kRecoverSite:
+    case FaultType::kPartition:
+    case FaultType::kHeal:
+    case FaultType::kPartitionOneWay:
+    case FaultType::kHealOneWay:
+    case FaultType::kDropBurst:
+    case FaultType::kCorruptBurst:
+    case FaultType::kDuplicateBurst:
+    case FaultType::kHealAll:
       return false;
   }
+  return false;  // unreachable: all enumerators handled above
 }
 
 constexpr ScheduleTemplate kAllTemplates[] = {
@@ -104,9 +116,24 @@ TEST(ChaosCampaignTest, RespectsRecoverabilityConstraints) {
           case FaultType::kRecoverSite:
             sites_down.erase(a.site_a);
             break;
-          default:
-            if (IsByzantine(a.type)) faulty[a.site_a].insert(a.node_index);
+          case FaultType::kByzEquivocate:
+          case FaultType::kByzSilent:
+          case FaultType::kByzBogusVotes:
+          case FaultType::kByzWithholdAttest:
+          case FaultType::kByzForgeReads:
+          case FaultType::kByzReorderGeo:
+            ASSERT_TRUE(IsByzantine(a.type));
+            faulty[a.site_a].insert(a.node_index);
             break;
+          case FaultType::kPartition:
+          case FaultType::kHeal:
+          case FaultType::kPartitionOneWay:
+          case FaultType::kHealOneWay:
+          case FaultType::kDropBurst:
+          case FaultType::kCorruptBurst:
+          case FaultType::kDuplicateBurst:
+          case FaultType::kHealAll:
+            break;  // link-level faults consume no per-node budget
         }
         for (const auto& [site, nodes] : faulty) {
           EXPECT_LE(static_cast<int>(nodes.size()), campaign.config.fi)

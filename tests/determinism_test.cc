@@ -4,6 +4,8 @@
 // identical logs; a different seed perturbs jitter but not outcomes.
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "core/deployment.h"
 #include "protocols/counter.h"
 #include "sim/simulator.h"
@@ -57,6 +59,60 @@ TEST(DeterminismTest, DifferentSeedSameOutcome) {
   // Jitter differs, protocol outcome does not.
   EXPECT_EQ(a.counter, b.counter);
   EXPECT_EQ(a.oregon_log.size(), b.oregon_log.size());
+}
+
+// All JSON exports of one run: metrics snapshot, Chrome trace, and the
+// trace summary. Everything a run writes to disk for analysis.
+struct JsonExports {
+  std::string metrics;
+  std::string chrome_trace;
+  std::string trace_json;
+};
+
+JsonExports RunScenarioWithExports(uint64_t seed) {
+  // The tracer and metrics registry are process-wide; reset both so the
+  // export is a pure function of the scenario below.
+  tracer().Clear();
+  tracer().Enable();
+  metrics_registry().ResetAll();
+
+  JsonExports out;
+  {
+    sim::Simulator simulator(seed);
+    core::Deployment deployment(&simulator, Topology::Aws4(), {});
+    protocols::CounterProtocol counter(&deployment);
+    for (int i = 0; i < 4; ++i) {
+      counter.UserRequest(net::kCalifornia, net::kOregon, "trusted-json");
+    }
+    simulator.RunUntilCondition(
+        [&] { return counter.counter(net::kOregon) == 4; }, Seconds(120));
+    simulator.RunFor(Seconds(2));
+    out.metrics = metrics_registry().ToJson();
+    out.chrome_trace = tracer().ToChromeTrace();
+    out.trace_json = tracer().ToJson();
+  }
+  tracer().Clear();
+  tracer().Disable();
+  metrics_registry().ResetAll();
+  return out;
+}
+
+// Two runs over the same seed must serialize byte for byte: map-ordered
+// exporters, no wall-clock timestamps, no iteration-order leaks (the
+// property bplint rule BP001 guards statically).
+TEST(DeterminismTest, SameSeedByteIdenticalJsonExports) {
+  JsonExports a = RunScenarioWithExports(777);
+  JsonExports b = RunScenarioWithExports(777);
+
+  // Non-trivial exports: the run actually produced counters and spans.
+  EXPECT_NE(a.metrics.find("\"hotpath\""), std::string::npos);
+  EXPECT_NE(a.metrics.find("\"transport\""), std::string::npos);
+  EXPECT_NE(a.chrome_trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_GT(a.trace_json.size(), 2u);
+
+  EXPECT_EQ(a.metrics, b.metrics);
+  EXPECT_EQ(a.chrome_trace, b.chrome_trace);
+  EXPECT_EQ(a.trace_json, b.trace_json);
 }
 
 }  // namespace

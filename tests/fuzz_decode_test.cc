@@ -177,8 +177,8 @@ TEST_P(FuzzDecodeTest, ConcatenatedGarbageAfterValidPrefixIsHandled) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDecodeTest,
                          ::testing::Values(1, 2, 3, 4, 5),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           return "seed" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<int>& pinfo) {
+                           return "seed" + std::to_string(pinfo.param);
                          });
 
 }  // namespace

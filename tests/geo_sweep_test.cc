@@ -76,10 +76,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 2, 3),      // f_g
                        ::testing::Values(0, 1, 2, 3),   // commit site
                        ::testing::Values(1, 2)),        // seed
-    [](const ::testing::TestParamInfo<std::tuple<int, int, int>>& info) {
-      return "fg" + std::to_string(std::get<0>(info.param)) + "_site" +
-             std::to_string(std::get<1>(info.param)) + "_seed" +
-             std::to_string(std::get<2>(info.param));
+    [](const ::testing::TestParamInfo<std::tuple<int, int, int>>& pinfo) {
+      return "fg" + std::to_string(std::get<0>(pinfo.param)) + "_site" +
+             std::to_string(std::get<1>(pinfo.param)) + "_seed" +
+             std::to_string(std::get<2>(pinfo.param));
     });
 
 }  // namespace

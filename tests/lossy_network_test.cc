@@ -44,11 +44,11 @@ INSTANTIATE_TEST_SUITE_P(
     Rates, LossySweepTest,
     ::testing::Combine(::testing::Values(0.002, 0.01),
                        ::testing::Values(1, 2)),
-    [](const ::testing::TestParamInfo<std::tuple<double, int>>& info) {
+    [](const ::testing::TestParamInfo<std::tuple<double, int>>& pinfo) {
       return "drop" +
              std::to_string(
-                 static_cast<int>(std::get<0>(info.param) * 1000)) +
-             "permille_seed" + std::to_string(std::get<1>(info.param));
+                 static_cast<int>(std::get<0>(pinfo.param) * 1000)) +
+             "permille_seed" + std::to_string(std::get<1>(pinfo.param));
     });
 
 TEST(LossyNetworkTest, CorruptionIsRejectedNotMisinterpreted) {

@@ -202,9 +202,9 @@ INSTANTIATE_TEST_SUITE_P(
     SizesAndSeeds, PaxosSweepTest,
     ::testing::Combine(::testing::Values(3, 5, 7),
                        ::testing::Values(1, 2, 3)),
-    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
-      return "n" + std::to_string(std::get<0>(info.param)) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& pinfo) {
+      return "n" + std::to_string(std::get<0>(pinfo.param)) + "_seed" +
+             std::to_string(std::get<1>(pinfo.param));
     });
 
 }  // namespace

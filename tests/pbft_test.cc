@@ -288,9 +288,9 @@ INSTANTIATE_TEST_SUITE_P(
     FaultLevelsAndSeeds, PbftSweepTest,
     ::testing::Combine(::testing::Values(1, 2, 3),
                        ::testing::Values(1, 2, 3, 4)),
-    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
-      return "f" + std::to_string(std::get<0>(info.param)) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& pinfo) {
+      return "f" + std::to_string(std::get<0>(pinfo.param)) + "_seed" +
+             std::to_string(std::get<1>(pinfo.param));
     });
 
 class PbftByzantineSweepTest
@@ -313,9 +313,9 @@ TEST_P(PbftByzantineSweepTest, OneByzantineReplicaNeverBreaksAgreement) {
 }
 
 std::string ByzantineSweepName(
-    const ::testing::TestParamInfo<std::tuple<ByzantineMode, int>>& info) {
+    const ::testing::TestParamInfo<std::tuple<ByzantineMode, int>>& pinfo) {
   const char* name = "Unknown";
-  switch (std::get<0>(info.param)) {
+  switch (std::get<0>(pinfo.param)) {
     case ByzantineMode::kNone:
       name = "None";
       break;
@@ -336,7 +336,7 @@ std::string ByzantineSweepName(
       break;
   }
   return std::string(name) + "_victim" +
-         std::to_string(std::get<1>(info.param));
+         std::to_string(std::get<1>(pinfo.param));
 }
 
 INSTANTIATE_TEST_SUITE_P(

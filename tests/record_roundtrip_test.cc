@@ -145,8 +145,8 @@ TEST_P(RecordRoundTripTest, AttestCanonicalSeparatesPurposes) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RecordRoundTripTest,
                          ::testing::Values(1, 2, 3),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           return "seed" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<int>& pinfo) {
+                           return "seed" + std::to_string(pinfo.param);
                          });
 
 }  // namespace

@@ -139,7 +139,9 @@ TEST_F(TraceTest, TracedCommitEmitsPhaseSpansOnEveryReplica) {
     if (name == "prepare") ++prepare_spans;
     if (name == "commit") ++commit_spans;
     if (name == "execute") ++executes;
-    if (event.kind == TraceEvent::Kind::kSpan) EXPECT_GE(event.dur, 0);
+    if (event.kind == TraceEvent::Kind::kSpan) {
+      EXPECT_GE(event.dur, 0);
+    }
   }
   // One client-side end-to-end span; every replica reports its own
   // prepare/commit phase spans and an execution instant.
