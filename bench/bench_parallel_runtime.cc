@@ -1,0 +1,302 @@
+// Real-clock benchmark for the Runner seam (DESIGN.md §12): drives the
+// daemon inbound pipeline in miniature — decode a batch of transmission
+// records, verify their f_i+1 attestation MACs, sign acknowledgements —
+// through InlineRunner and ThreadPoolRunner at 1/2/4/8 workers, and
+// writes per-configuration throughput plus scaling efficiency to
+// BENCH_parallel.json.
+//
+// The verify-once cache is disabled so every configuration performs the
+// same MAC work; before timing, one pass per configuration is checked
+// element-for-element against the inline results (decode outcomes,
+// verify verdicts, signatures).
+//
+// The >=3x @ 4 workers acceptance gate only makes sense with real cores
+// to scale onto: it is enforced when std::thread::hardware_concurrency()
+// >= 4 and otherwise recorded as skipped (the JSON always carries the
+// core count, so a reader can tell a 1-core container run from a failed
+// scaling run). Deliberately not google-benchmark: the output contract
+// is a small stable JSON document consumed by CI.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/runner.h"
+#include "core/record.h"
+#include "core/wire.h"
+#include "crypto/signer.h"
+
+namespace blockplane {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsBetween(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// f_i = 1 at the attesting site: records carry f_i+1 = 2 signatures.
+constexpr int kAttestors = 2;
+
+struct Corpus {
+  std::vector<Bytes> encoded;                    // wire form, decode input
+  std::vector<Bytes> attest_canonicals;          // one per record
+  std::vector<crypto::Signature> attest_sigs;    // kAttestors per record
+  std::vector<Bytes> ack_canonicals;             // sign input, one per record
+};
+
+Corpus BuildCorpus(crypto::KeyStore* keys, size_t records) {
+  Corpus corpus;
+  std::vector<std::unique_ptr<crypto::Signer>> signers;
+  for (int i = 0; i < kAttestors; ++i) {
+    signers.push_back(keys->RegisterNode({0, i}));
+  }
+  for (size_t r = 0; r < records; ++r) {
+    core::TransmissionRecord record;
+    record.src_site = 0;
+    record.dest_site = 1;
+    record.src_log_pos = r + 1;
+    record.prev_src_log_pos = r;
+    record.routine_id = 0;
+    record.payload = Bytes(512, static_cast<uint8_t>(r * 37 + 11));
+    record.geo_pos = r + 1;
+    Bytes canonical = core::AttestCanonical(
+        core::AttestPurpose::kTransmission, record.src_site,
+        record.src_log_pos, record.ContentDigest());
+    for (auto& signer : signers) {
+      record.sigs.push_back(signer->Sign(canonical));
+      corpus.attest_sigs.push_back(record.sigs.back());
+    }
+    corpus.attest_canonicals.push_back(canonical);
+    corpus.ack_canonicals.push_back(core::AttestCanonical(
+        core::AttestPurpose::kTransmission, record.dest_site,
+        record.src_log_pos, record.ContentDigest()));
+    corpus.encoded.push_back(record.Encode());
+  }
+  return corpus;
+}
+
+/// Everything one pipeline pass computes; compared across configurations.
+struct PassResult {
+  std::vector<bool> decode_ok;
+  std::vector<uint64_t> decoded_positions;
+  std::vector<bool> verify_ok;
+  std::vector<crypto::Signature> ack_sigs;
+};
+
+/// One closed-loop pass: decode every record, verify every attestation,
+/// sign every acknowledgement — all through `runner`'s batch seam.
+PassResult RunPass(const Corpus& corpus, const crypto::KeyStore& keys,
+                   const crypto::Signer& acker, common::Runner* runner) {
+  PassResult out;
+
+  std::vector<core::TransmissionDecodeJob> decode_jobs(corpus.encoded.size());
+  for (size_t i = 0; i < corpus.encoded.size(); ++i) {
+    decode_jobs[i].buf = corpus.encoded[i];
+  }
+  core::DecodeTransmissionBatch(&decode_jobs, runner);
+  for (const auto& job : decode_jobs) {
+    out.decode_ok.push_back(job.ok);
+    out.decoded_positions.push_back(job.record.src_log_pos);
+  }
+
+  std::vector<crypto::VerifyJob> verify_jobs(corpus.attest_sigs.size());
+  for (size_t i = 0; i < corpus.attest_sigs.size(); ++i) {
+    verify_jobs[i].msg = corpus.attest_canonicals[i / kAttestors];
+    verify_jobs[i].sig = corpus.attest_sigs[i];
+  }
+  keys.VerifyBatch(&verify_jobs, runner);
+  for (const auto& job : verify_jobs) out.verify_ok.push_back(job.ok);
+
+  std::vector<crypto::SignJob> sign_jobs(corpus.ack_canonicals.size());
+  for (size_t i = 0; i < corpus.ack_canonicals.size(); ++i) {
+    sign_jobs[i].msg = corpus.ack_canonicals[i];
+  }
+  acker.SignBatch(&sign_jobs, runner);
+  for (const auto& job : sign_jobs) out.ack_sigs.push_back(job.sig);
+
+  return out;
+}
+
+bool SameResult(const PassResult& a, const PassResult& b) {
+  return a.decode_ok == b.decode_ok &&
+         a.decoded_positions == b.decoded_positions &&
+         a.verify_ok == b.verify_ok && a.ack_sigs == b.ack_sigs;
+}
+
+struct ConfigResult {
+  std::string name;
+  int workers = 0;
+  double ops_per_sec = 0;
+  double speedup_vs_inline = 1.0;
+  double efficiency_per_worker = 1.0;
+  bool equivalent = false;
+};
+
+/// Times repeated passes until `min_seconds` of wall clock has elapsed
+/// (at least one pass), returning records processed per second.
+double MeasureOpsPerSec(const Corpus& corpus, const crypto::KeyStore& keys,
+                        const crypto::Signer& acker, common::Runner* runner,
+                        double min_seconds) {
+  size_t passes = 0;
+  auto start = Clock::now();
+  double elapsed = 0;
+  do {
+    PassResult result = RunPass(corpus, keys, acker, runner);
+    if (result.ack_sigs.empty()) std::fprintf(stderr, "?");  // defeat DCE
+    ++passes;
+    elapsed = SecondsBetween(start, Clock::now());
+  } while (elapsed < min_seconds);
+  return static_cast<double>(passes * corpus.encoded.size()) / elapsed;
+}
+
+}  // namespace
+}  // namespace blockplane
+
+int main(int argc, char** argv) {
+  using namespace blockplane;
+
+  bool smoke = false;
+  std::string out_path = "BENCH_parallel.json";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const size_t kRecords = smoke ? 64 : 512;
+  const double kMinSeconds = smoke ? 0.05 : 1.0;
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  crypto::KeyStore keys;
+  // Every configuration must do the same MAC work: no verify-once cache.
+  keys.set_verify_cache_capacity(0);
+  Corpus corpus = BuildCorpus(&keys, kRecords);
+  auto acker = keys.RegisterNode({1, 0});
+
+  common::InlineRunner inline_runner;
+  PassResult reference = RunPass(corpus, keys, *acker, &inline_runner);
+  // The corpus is self-consistent: every decode and verify must succeed.
+  for (bool ok : reference.decode_ok) {
+    if (!ok) {
+      std::fprintf(stderr, "corpus decode failed — bench invalid\n");
+      return 1;
+    }
+  }
+  for (bool ok : reference.verify_ok) {
+    if (!ok) {
+      std::fprintf(stderr, "corpus verify failed — bench invalid\n");
+      return 1;
+    }
+  }
+
+  std::vector<ConfigResult> results;
+  {
+    ConfigResult r;
+    r.name = "inline";
+    r.workers = 0;
+    r.equivalent = true;
+    r.ops_per_sec =
+        MeasureOpsPerSec(corpus, keys, *acker, &inline_runner, kMinSeconds);
+    results.push_back(r);
+  }
+  const double inline_ops = results[0].ops_per_sec;
+
+  for (int workers : {1, 2, 4, 8}) {
+    common::ThreadPoolRunner pool(
+        {workers, /*queue_capacity=*/256, /*spin=*/false});
+    ConfigResult r;
+    r.name = "threadpool_w" + std::to_string(workers);
+    r.workers = workers;
+    r.equivalent = SameResult(RunPass(corpus, keys, *acker, &pool), reference);
+    r.ops_per_sec = MeasureOpsPerSec(corpus, keys, *acker, &pool, kMinSeconds);
+    r.speedup_vs_inline = r.ops_per_sec / inline_ops;
+    r.efficiency_per_worker = r.speedup_vs_inline / workers;
+    results.push_back(r);
+  }
+
+  std::printf("parallel runtime (%zu records/pass, %d sigs/record, "
+              "%u hardware threads):\n",
+              kRecords, kAttestors, cores);
+  for (const ConfigResult& r : results) {
+    std::printf("  %-14s : %12.0f records/s  (%.2fx, %.2f/worker)%s\n",
+                r.name.c_str(), r.ops_per_sec, r.speedup_vs_inline,
+                r.efficiency_per_worker, r.equivalent ? "" : "  MISMATCH");
+  }
+
+  double speedup_at_4 = 0;
+  bool all_equivalent = true;
+  for (const ConfigResult& r : results) {
+    if (r.workers == 4) speedup_at_4 = r.speedup_vs_inline;
+    all_equivalent = all_equivalent && r.equivalent;
+  }
+  // The scaling gate needs real cores; a 1-core container can only record.
+  const bool gate_enforced = cores >= 4;
+  const bool gate_met = speedup_at_4 >= 3.0;
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open --out path \"%s\"\n", out_path.c_str());
+    return 2;
+  }
+  out << "{\n"
+      << "  \"hardware_concurrency\": " << cores << ",\n"
+      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+      << "  \"records_per_pass\": " << kRecords << ",\n"
+      << "  \"sigs_per_record\": " << kAttestors << ",\n"
+      << "  \"configs\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& r = results[i];
+    out << "    {\n"
+        << "      \"name\": \"" << r.name << "\",\n"
+        << "      \"workers\": " << r.workers << ",\n"
+        << "      \"records_per_sec\": " << r.ops_per_sec << ",\n"
+        << "      \"speedup_vs_inline\": " << r.speedup_vs_inline << ",\n"
+        << "      \"efficiency_per_worker\": " << r.efficiency_per_worker
+        << ",\n"
+        << "      \"equivalent_to_inline\": "
+        << (r.equivalent ? "true" : "false") << "\n"
+        << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"gate\": {\n"
+      << "    \"required_speedup_at_4_workers\": 3.0,\n"
+      << "    \"measured_speedup_at_4_workers\": " << speedup_at_4 << ",\n"
+      << "    \"enforced\": " << (gate_enforced ? "true" : "false") << ",\n"
+      << "    \"met\": " << (gate_met ? "true" : "false") << "\n"
+      << "  }\n"
+      << "}\n";
+  out.close();
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!all_equivalent) {
+    std::fprintf(stderr, "threaded results diverge from inline — FAIL\n");
+    return 1;
+  }
+  if (gate_enforced && !gate_met) {
+    std::fprintf(stderr,
+                 "scaling gate NOT met: %.2fx at 4 workers (need 3.0x, "
+                 "%u cores)\n",
+                 speedup_at_4, cores);
+    return 1;
+  }
+  if (!gate_enforced) {
+    std::printf("scaling gate skipped: %u hardware threads (< 4); "
+                "recorded %.2fx at 4 workers\n",
+                cores, speedup_at_4);
+  }
+  return 0;
+}

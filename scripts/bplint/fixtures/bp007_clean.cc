@@ -1,0 +1,28 @@
+// Fixture: BP007 clean — prologue-path state that is immutable,
+// per-thread, synchronized, or explicitly allowed with a reason.
+
+struct Runner {
+  void RunPrologue(int job);
+};
+
+namespace frames {
+
+constexpr int kChunk = 8;            // immutable: fine
+const char* const kName = "decode";  // immutable: fine
+
+std::atomic<int> g_decoded{0};  // synchronizes itself: fine
+std::mutex g_mu;                // a synchronization primitive: fine
+
+// Submit-thread-owned counters follow the RunnerStats discipline: only
+// the thread that calls RunPrologue/Poll ever touches them.
+// bplint:allow(BP007) submit-thread-owned counter, workers never touch it
+int g_submitted = 0;
+
+int DecodeFrame(int frame) {
+  thread_local int scratch = 0;  // per-thread: fine
+  static constexpr int kBias = 3;
+  scratch += frame;
+  return scratch + kBias;
+}
+
+}  // namespace frames

@@ -1,0 +1,21 @@
+// Fixture: BP007 — mutable shared state on a Runner prologue path.
+// Prologues run on ThreadPoolRunner worker threads, so any mutable
+// static or un-mutexed namespace-scope variable they can reach is a
+// data race (DESIGN.md section 12).
+
+struct Runner {
+  void RunPrologue(int job);
+};
+
+namespace frames {
+
+int g_decode_count = 0;  // forbidden: un-mutexed global on a prologue path
+
+int DecodeFrame(int frame) {
+  static int frames_seen = 0;  // forbidden: mutable function-local static
+  frames_seen++;
+  g_decode_count++;
+  return frame + frames_seen;
+}
+
+}  // namespace frames

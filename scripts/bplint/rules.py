@@ -22,13 +22,17 @@ Rule catalog (see DESIGN.md section 11 for the rationale):
   BP006  metrics/trace hygiene: every *Stats counter is registered
          with MetricsRegistry, and every Tracer::Mark phase is in the
          kTracePhases catalog (and vice versa).
+  BP007  mutable static / un-mutexed namespace-scope state in files on
+         a Runner prologue path (RunPrologue / SignBatch / VerifyBatch /
+         VerifyDetached, or `bplint:runner-prologue-path`): prologues
+         run on worker threads, so such state is a data race.
   BP000  linter hygiene: malformed or unused `bplint:allow` comments.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from cppmodel import Enum, FileFacts, Struct, Tok
 
@@ -45,6 +49,9 @@ RULE_DESCRIPTIONS = [
     ("BP005", "floating point in a consensus/state-machine/digest path"),
     ("BP006", "metrics counter not registered with MetricsRegistry, or "
               "trace phase mark outside the kTracePhases catalog"),
+    ("BP007", "mutable static or un-mutexed namespace-scope state in a "
+              "file on a Runner prologue path (worker threads may race "
+              "on it)"),
 ]
 
 ALL_RULES = [r for r, _ in RULE_DESCRIPTIONS]
@@ -380,6 +387,155 @@ def rule_bp006(project: Project) -> Iterable[Diagnostic]:
                 f"catalog or missing instrumentation)")
 
 
+# ---------------------------------------------------------------------------
+# BP007
+# ---------------------------------------------------------------------------
+
+# A file is "on a prologue path" when it mentions the Runner seam's entry
+# points (its prologues run on ThreadPoolRunner workers) or carries the
+# explicit marker. Everything else keeps the single-threaded-simulator
+# freedom to use mutable statics.
+_BP007_TRIGGERS = {"RunPrologue", "RunBatch", "SignBatch", "VerifyBatch",
+                   "VerifyDetached", "SignDetached"}
+# Qualifiers that make a static/global safe for concurrent prologues.
+_BP007_IMMUTABLE = {"const", "constexpr", "constinit", "thread_local"}
+# Types that synchronize themselves (or are synchronization primitives).
+_BP007_SYNC = {"atomic", "atomic_flag", "atomic_bool", "atomic_int",
+               "mutex", "shared_mutex", "recursive_mutex", "timed_mutex",
+               "once_flag", "condition_variable", "condition_variable_any"}
+_BP007_STMT_SKIP_HEADS = {
+    "using", "typedef", "namespace", "template", "extern", "friend",
+    "static", "static_assert", "struct", "class", "enum", "union",
+    "return", "if", "for", "while", "switch", "case", "default", "do",
+    "else", "break", "continue", "goto", "public", "private", "protected",
+    "operator", "BP_DISALLOW_COPY_AND_ASSIGN",
+}
+
+
+def _bp007_in_scope(f: FileFacts) -> bool:
+    if "runner-prologue-path" in f.markers:
+        return True
+    return any(t.kind == "id" and t.text in _BP007_TRIGGERS
+               for t in f.tokens)
+
+
+def _bp007_statics(f: FileFacts) -> Iterable[Diagnostic]:
+    """Mutable `static` declarations (function-local or namespace-scope)."""
+    toks = f.tokens
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind != "id" or t.text != "static":
+            continue
+        stmt: List[Tok] = []
+        j = i + 1
+        while j < n and toks[j].text not in (";", "{", "}") and \
+                len(stmt) < 64:
+            stmt.append(toks[j])
+            j += 1
+        if j >= n or toks[j].text != ";":
+            continue  # `static Ret Fn() {...}` definition or truncated
+        texts = {s.text for s in stmt}
+        if texts & _BP007_IMMUTABLE or texts & _BP007_SYNC:
+            continue
+        if "(" in texts:
+            continue  # function declaration or ctor-call initializer
+        name = None
+        for s in stmt:
+            if s.text == "=":
+                break
+            if s.kind == "id":
+                name = s.text
+        if name is None:
+            continue
+        yield Diagnostic(
+            f.path, t.line, "BP007",
+            f"mutable static '{name}' in a file on a Runner prologue "
+            f"path; worker threads may race on it — make it "
+            f"const/constexpr/thread_local, synchronize it, or keep it "
+            f"off prologue paths")
+
+
+def _bp007_brace_kind(toks: Sequence[Tok], i: int) -> str:
+    """Classifies the '{' at toks[i]: 'ns', 'type', or 'block'."""
+    j = i - 1
+    header: List[str] = []
+    while j >= 0 and toks[j].text not in (";", "{", "}") and \
+            len(header) < 32:
+        header.append(toks[j].text)
+        j -= 1
+    if "namespace" in header:
+        return "ns"
+    if {"struct", "class", "union", "enum"} & set(header) and \
+            "=" not in header:
+        return "type"
+    return "block"
+
+
+def _bp007_globals(f: FileFacts) -> Iterable[Diagnostic]:
+    """Initialized, un-synchronized variable definitions at namespace
+    scope. Conservative: only statements with a top-level `=` whose first
+    token is a type-ish identifier are considered, so expression
+    statements and declarations the classifier cannot place degrade to
+    silence."""
+    toks = f.tokens
+    n = len(toks)
+    stack: List[str] = []
+    stmt_start = 0
+    i = 0
+    while i < n:
+        text = toks[i].text
+        if text == "{":
+            stack.append(_bp007_brace_kind(toks, i))
+            stmt_start = i + 1
+        elif text == "}":
+            if stack:
+                stack.pop()
+            stmt_start = i + 1
+        elif text == ";":
+            if all(k == "ns" for k in stack):
+                d = _bp007_global_stmt(f, toks[stmt_start:i])
+                if d is not None:
+                    yield d
+            stmt_start = i + 1
+        i += 1
+
+
+def _bp007_global_stmt(f: FileFacts,
+                       stmt: Sequence[Tok]) -> Optional[Diagnostic]:
+    if not stmt or stmt[0].kind != "id":
+        return None
+    if stmt[0].text in _BP007_STMT_SKIP_HEADS:
+        return None
+    texts = {t.text for t in stmt}
+    if texts & _BP007_IMMUTABLE or texts & _BP007_SYNC:
+        return None
+    name = None
+    eq_idx = -1
+    for idx, t in enumerate(stmt):
+        if t.text == "=":
+            eq_idx = idx
+            break
+        if t.text == "(":
+            return None  # function decl / default argument
+        if t.kind == "id":
+            name = t.text
+    if eq_idx < 0 or name is None:
+        return None
+    return Diagnostic(
+        f.path, stmt[0].line, "BP007",
+        f"un-mutexed namespace-scope variable '{name}' in a file on a "
+        f"Runner prologue path; worker threads may race on it — make it "
+        f"const/constexpr, synchronize it, or keep it off prologue paths")
+
+
+def rule_bp007(project: Project) -> Iterable[Diagnostic]:
+    for f in project.files:
+        if not _bp007_in_scope(f):
+            continue
+        yield from _bp007_statics(f)
+        yield from _bp007_globals(f)
+
+
 RULE_FNS = {
     "BP001": rule_bp001,
     "BP002": rule_bp002,
@@ -387,4 +543,5 @@ RULE_FNS = {
     "BP004": rule_bp004,
     "BP005": rule_bp005,
     "BP006": rule_bp006,
+    "BP007": rule_bp007,
 }

@@ -9,33 +9,45 @@
 #      JSON when python3 is available).
 #   3. Pipeline smoke: bench_pipeline --smoke compares window 1 vs 8 on
 #      the Table-I WAN matrix and fails unless window 8 is strictly
-#      faster (the DESIGN.md §9 pipelining regression gate). Any
-#      BENCH_*.json produced under build/ is copied to the repo root so
-#      results are versioned alongside the code.
+#      faster (the DESIGN.md §9 pipelining regression gate).
+#   3b. Parallel-runtime smoke: bench_parallel_runtime --smoke sweeps the
+#       Runner seam (inline + 1/2/4/8 workers, DESIGN.md §12), checking
+#       threaded results element-for-element against inline; the >=3x
+#       scaling gate is enforced only on hosts with >= 4 hardware
+#       threads (the JSON records the core count either way).
+#       Every bench pass MUST refresh its repo-root BENCH_*.json copy —
+#       a bench that ran without updating the versioned results fails
+#       the gate (refresh_bench below).
 #   4a. Static analysis: clang-tidy (.clang-tidy at the repo root; the
 #       gate set is bugprone-* + performance-*) over src/ using the
 #       compile database — skipped with a notice when clang-tidy is not
 #       installed.
 #   4b. bplint: the project-invariant static-analysis suite
-#       (scripts/bplint; rules BP001–BP006 — determinism, entropy
+#       (scripts/bplint; rules BP001–BP007 — determinism, entropy
 #       hygiene, wire-field coverage, dispatch exhaustiveness, integer
-#       consensus math, metrics/trace hygiene). Zero unsuppressed
-#       diagnostics required, and two runs must be byte-identical.
-#       Runs even under --fast: it is self-contained Python and <1 s.
+#       consensus math, metrics/trace hygiene, runner prologue-path
+#       state). Zero unsuppressed diagnostics required, and two runs
+#       must be byte-identical. Runs even under --fast: it is
+#       self-contained Python and <1 s.
 #   5. The same suite under ASan+UBSan in a separate Debug build tree
 #      (build-asan/). The zero-copy payload paths share one allocation
 #      across broadcast fan-out, retransmission buffers, and reorder
 #      buffers — exactly the kind of lifetime bug a sanitizer catches and
 #      a passing test hides.
 #
-# Usage: scripts/check.sh [--fast|--chaos-smoke]
-#   --fast         passes 1–3 + bplint; skip clang-tidy and sanitizers.
+# Usage: scripts/check.sh [--fast|--chaos-smoke|--tsan]
+#   --fast         passes 1–3b + bplint; skip clang-tidy and sanitizers.
 #   --chaos-smoke  quick chaos gate (<60s): build, then run the chaos
 #                  regression + a reduced soak (2 seeds per template via
 #                  CHAOS_SOAK_SEEDS) and the fig-8 chaos bench variant,
 #                  which fails unless throughput recovers after the
 #                  scheduled site outage. Failing campaigns print their
 #                  JSON for seed-exact reproduction (see EXPERIMENTS.md).
+#   --tsan         ThreadSanitizer gate for the Runner seam: Debug build
+#                  with -fsanitize=thread (build-tsan/), then runner_test,
+#                  pbft_test, and bench_parallel_runtime --smoke. The
+#                  worker threads touch only prologue-captured state, so
+#                  any TSan report is a seam violation.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,6 +55,38 @@ FAST=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
 
 JOBS_SMOKE="$(nproc 2>/dev/null || echo 4)"
+
+# Copies build/$1 to the repo root, failing when the bench pass that was
+# supposed to produce it did not: versioned bench results must never go
+# stale relative to a bench run that succeeded.
+refresh_bench() {
+  local name="$1"
+  [[ -s "build/$name" ]] \
+    || { echo "$name missing after its bench pass — not refreshed"; exit 1; }
+  cp "build/$name" "$name"
+  cmp -s "build/$name" "$name" \
+    || { echo "$name at the repo root does not match the fresh run"; exit 1; }
+  echo "refreshed $name"
+}
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  echo "=== tsan: Debug build with -fsanitize=thread ==="
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+    >/dev/null
+  cmake --build build-tsan -j "$JOBS_SMOKE" \
+    --target runner_test pbft_test bench_parallel_runtime
+  echo "=== tsan: runner_test ==="
+  build-tsan/tests/runner_test
+  echo "=== tsan: pbft_test ==="
+  build-tsan/tests/pbft_test
+  echo "=== tsan: bench_parallel_runtime --smoke ==="
+  build-tsan/bench/bench_parallel_runtime --smoke \
+    --out=build-tsan/BENCH_parallel.json
+  echo "=== tsan pass complete ==="
+  exit 0
+fi
 if [[ "${1:-}" == "--chaos-smoke" ]]; then
   echo "=== chaos smoke: build ==="
   cmake -B build -S . >/dev/null
@@ -52,7 +96,7 @@ if [[ "${1:-}" == "--chaos-smoke" ]]; then
   CHAOS_SOAK_SEEDS=2 build/tests/chaos_soak_test
   echo "=== chaos smoke: fig-8 chaos bench (outage recovery gate) ==="
   build/bench/bench_fig8_failures --chaos --out=build/BENCH_chaos.json
-  cp build/BENCH_chaos.json . 2>/dev/null || true
+  refresh_bench BENCH_chaos.json
   echo "=== chaos smoke passed ==="
   exit 0
 fi
@@ -69,7 +113,7 @@ ctest --test-dir build --output-on-failure
 # builds. Two back-to-back runs must agree byte for byte: a lint whose
 # output wobbles cannot gate a determinism-obsessed repo.
 run_bplint() {
-  echo "=== pass 4b: bplint (BP001-BP006 project invariants) ==="
+  echo "=== pass 4b: bplint (BP001-BP007 project invariants) ==="
   python3 scripts/bplint -p build src bench | tee build/bplint.out
   python3 scripts/bplint -p build src bench > build/bplint.rerun.out
   cmp build/bplint.out build/bplint.rerun.out \
@@ -91,9 +135,17 @@ if command -v python3 >/dev/null 2>&1; then
   python3 -c "import json,sys; json.load(open('build/BENCH_pipeline.json'))" \
     || { echo "BENCH_pipeline.json is not valid JSON"; exit 1; }
 fi
-# Version bench results alongside the code.
-cp build/BENCH_*.json . 2>/dev/null || true
+refresh_bench BENCH_pipeline.json
 echo "pipeline smoke OK (BENCH_pipeline.json)"
+
+echo "=== pass 3b: parallel-runtime smoke (Runner worker sweep) ==="
+build/bench/bench_parallel_runtime --smoke --out=build/BENCH_parallel.json
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json,sys; json.load(open('build/BENCH_parallel.json'))" \
+    || { echo "BENCH_parallel.json is not valid JSON"; exit 1; }
+fi
+refresh_bench BENCH_parallel.json
+echo "parallel-runtime smoke OK (BENCH_parallel.json)"
 
 if [[ "$FAST" == "1" ]]; then
   run_bplint

@@ -28,6 +28,11 @@ RobustnessStats& robustness_stats() {
   return stats;
 }
 
+RunnerStats& runner_stats() {
+  static RunnerStats stats;
+  return stats;
+}
+
 // --- MetricsRegistry ---------------------------------------------------------
 
 MetricsRegistry::MetricsRegistry() {
@@ -92,6 +97,20 @@ MetricsRegistry::MetricsRegistry() {
         };
       },
       []() { robustness_stats().Reset(); });
+  Register(
+      "runner",
+      []() {
+        const RunnerStats& s = runner_stats();
+        return std::map<std::string, int64_t>{
+            {"prologues_submitted", s.prologues_submitted},
+            {"epilogues_retired", s.epilogues_retired},
+            {"prologues_dropped", s.prologues_dropped},
+            {"backpressure_waits", s.backpressure_waits},
+            {"queue_depth_peak", s.queue_depth_peak},
+            {"batch_tasks", s.batch_tasks},
+        };
+      },
+      []() { runner_stats().Reset(); });
 }
 
 int64_t MetricsRegistry::Register(std::string name, SnapshotFn snapshot,

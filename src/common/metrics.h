@@ -181,6 +181,33 @@ struct RobustnessStats {
 /// The process-wide robustness counter block.
 RobustnessStats& robustness_stats();
 
+/// Process-wide counters for the Runner seam (DESIGN.md §12). Updated only
+/// from runner submit/retire threads — every supported configuration is
+/// single-submitter, so that is one thread and plain int64 fields stay
+/// race-free. Worker threads never touch this block (BP007 discipline).
+struct RunnerStats {
+  /// Prologues submitted through any Runner (inline or threaded).
+  int64_t prologues_submitted = 0;
+  /// Epilogue slots retired, in submission order (includes dropped ones).
+  int64_t epilogues_retired = 0;
+  /// Prologues that returned a null epilogue — the message died in the
+  /// pure stage (decode failure, bad signature, wrong destination).
+  int64_t prologues_dropped = 0;
+  /// Submissions that found the bounded queue full and had to block,
+  /// retiring ready epilogues while waiting.
+  int64_t backpressure_waits = 0;
+  /// Peak submitted-but-unretired depth observed across all runners.
+  int64_t queue_depth_peak = 0;
+  /// Fork-join tasks executed through RunBatch (crypto/codec batch
+  /// helpers); these bypass the ordered window and retire no epilogues.
+  int64_t batch_tasks = 0;
+
+  void Reset() { *this = RunnerStats{}; }
+};
+
+/// The process-wide runner counter block.
+RunnerStats& runner_stats();
+
 /// Named counters, useful for asserting message complexity in tests
 /// (e.g. "wide-area messages sent").
 class CounterSet {

@@ -1,0 +1,183 @@
+#include "common/runner.h"
+
+#include "common/metrics.h"
+
+namespace blockplane::common {
+
+namespace {
+
+ThreadPoolRunner::Options ClampOptions(ThreadPoolRunner::Options options) {
+  if (options.workers < 1) options.workers = 1;
+  if (options.queue_capacity < 1) options.queue_capacity = 1;
+  return options;
+}
+
+}  // namespace
+
+void InlineRunner::RunPrologue(Prologue prologue) {
+  RunnerStats& stats = runner_stats();
+  stats.prologues_submitted++;
+  Epilogue epilogue = prologue();
+  if (epilogue) {
+    epilogue();
+  } else {
+    stats.prologues_dropped++;
+  }
+  stats.epilogues_retired++;
+}
+
+void InlineRunner::RunBatch(std::vector<BatchTask> tasks) {
+  runner_stats().batch_tasks += static_cast<int64_t>(tasks.size());
+  for (BatchTask& task : tasks) task();
+}
+
+Runner* DefaultRunner() {
+  // InlineRunner has no data members; it only bumps the submit-thread-owned
+  // RunnerStats block, so sharing one instance is safe.
+  // bplint:allow(BP007) stateless singleton, mutated only via RunnerStats
+  static InlineRunner runner;
+  return &runner;
+}
+
+ThreadPoolRunner::ThreadPoolRunner(Options options)
+    : options_(ClampOptions(options)) {
+  threads_.reserve(static_cast<size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPoolRunner::~ThreadPoolRunner() {
+  Drain();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ThreadPoolRunner::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    while (!stop_ && claim_next_ == base_ + window_.size() &&
+           batch_next_ >= batch_.size()) {
+      if (options_.spin) {
+        // Busy-poll: release the lock so submitters and the retire path
+        // make progress, yield, re-probe.
+        lock.unlock();
+        std::this_thread::yield();
+        lock.lock();
+      } else {
+        task_ready_.wait(lock);
+      }
+    }
+    // Batch tasks preempt window prologues: the protocol thread is blocked
+    // inside RunBatch until they finish, which stalls all retirement.
+    if (batch_next_ < batch_.size()) {
+      const size_t i = batch_next_++;
+      lock.unlock();
+      batch_[i]();
+      lock.lock();
+      if (++batch_finished_ == batch_.size()) batch_done_.notify_all();
+      continue;
+    }
+    if (claim_next_ == base_ + window_.size()) return;  // stopping, all claimed
+    const uint64_t seq = claim_next_++;
+    Prologue prologue = std::move(window_[seq - base_].prologue);
+    lock.unlock();
+
+    Epilogue epilogue = prologue();
+
+    lock.lock();
+    // base_ cannot have advanced past seq: retirement stops at the first
+    // not-done slot, and this slot is only marked done below.
+    Slot& slot = window_[seq - base_];
+    slot.epilogue = std::move(epilogue);
+    slot.done = true;
+    if (seq == base_) front_done_.notify_all();
+  }
+}
+
+bool ThreadPoolRunner::RetireFront(std::unique_lock<std::mutex>& lock) {
+  if (retiring_ > 0) return false;  // an epilogue is mid-flight; keep order
+  if (window_.empty() || !window_.front().done) return false;
+  Epilogue epilogue = std::move(window_.front().epilogue);
+  window_.pop_front();
+  ++base_;
+  ++retiring_;
+  lock.unlock();
+  RunnerStats& stats = runner_stats();
+  if (epilogue) {
+    epilogue();  // may reentrantly call RunPrologue
+  } else {
+    stats.prologues_dropped++;
+  }
+  stats.epilogues_retired++;
+  lock.lock();
+  --retiring_;
+  return true;
+}
+
+void ThreadPoolRunner::RunPrologue(Prologue prologue) {
+  RunnerStats& stats = runner_stats();
+  stats.prologues_submitted++;
+  std::unique_lock<std::mutex> lock(mu_);
+  // Backpressure: block until the window has room, retiring ready
+  // epilogues while waiting. A reentrant submission (from an epilogue this
+  // very loop is running) must not block — the retire path above it in the
+  // stack cannot make progress — so it is allowed to overshoot the cap.
+  if (retiring_ == 0 && window_.size() >= options_.queue_capacity) {
+    stats.backpressure_waits++;
+    while (window_.size() >= options_.queue_capacity) {
+      if (!RetireFront(lock)) front_done_.wait(lock);
+    }
+  }
+  window_.push_back(Slot{std::move(prologue), nullptr, false});
+  const auto depth = static_cast<int64_t>(window_.size());
+  if (depth > stats.queue_depth_peak) stats.queue_depth_peak = depth;
+  if (!options_.spin) task_ready_.notify_one();
+}
+
+void ThreadPoolRunner::RunBatch(std::vector<BatchTask> tasks) {
+  if (tasks.empty()) return;
+  RunnerStats& stats = runner_stats();
+  stats.batch_tasks += static_cast<int64_t>(tasks.size());
+  std::unique_lock<std::mutex> lock(mu_);
+  BP_CHECK_MSG(batch_.empty(), "RunBatch is not reentrant");
+  batch_ = std::move(tasks);
+  batch_next_ = 0;
+  batch_finished_ = 0;
+  if (!options_.spin) task_ready_.notify_all();
+  // The caller participates: with every worker busy on long window
+  // prologues the batch still makes progress, and on a small batch the
+  // cheapest thread to run it is this one.
+  while (batch_finished_ < batch_.size()) {
+    if (batch_next_ < batch_.size()) {
+      const size_t i = batch_next_++;
+      lock.unlock();
+      batch_[i]();
+      lock.lock();
+      ++batch_finished_;
+    } else {
+      batch_done_.wait(lock);
+    }
+  }
+  batch_.clear();
+}
+
+size_t ThreadPoolRunner::Poll() {
+  std::unique_lock<std::mutex> lock(mu_);
+  size_t retired = 0;
+  while (RetireFront(lock)) ++retired;
+  return retired;
+}
+
+void ThreadPoolRunner::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!window_.empty()) {
+    if (!RetireFront(lock)) front_done_.wait(lock);
+  }
+}
+
+}  // namespace blockplane::common

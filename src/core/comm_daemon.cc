@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/runner.h"
 #include "common/trace.h"
 #include "core/node.h"
 #include "core/wire.h"
@@ -29,13 +30,12 @@ void CommDaemon::OnMessage(const net::Message& msg) {
     case kTransmissionAck:
       OnTransmissionAck(msg);
       break;
-    case kAttestResponse:
-      OnAttestResponse(msg);
-      break;
     case kRecvStatusReply:
       OnRecvStatusReply(msg);
       break;
     default:
+      // kAttestResponse arrives pre-decoded via OnAttestResponseDecoded:
+      // the host node's prologue does the decode off the delivery thread.
       break;
   }
 }
@@ -47,6 +47,10 @@ void CommDaemon::PumpPipeline() {
   if (comm_it == host_->comm_positions_.end()) return;
   const std::vector<uint64_t>& positions = comm_it->second;
 
+  // Phase 1: build the new flights and collect their attestation bodies
+  // (digest + canonical encode — the CPU-heavy part of the scan).
+  std::vector<uint64_t> new_positions;
+  std::vector<crypto::SignJob> jobs;
   for (auto pos_it = std::upper_bound(positions.begin(), positions.end(),
                                       std::max(next_send_pos_, acked_pos_));
        pos_it != positions.end() && flights_.size() < host_->options_.daemon_window; ++pos_it) {
@@ -74,20 +78,33 @@ void CommDaemon::PumpPipeline() {
     flight.record.geo_proof = std::move(geo_proof);
     next_send_pos_ = pos;
 
-    // Collect f_i+1 signatures for the validity of P from local nodes
-    // (our own plus f_i others).
     crypto::Digest digest = flight.record.ContentDigest();
-    flight.record.sigs.push_back(host_->signer_->Sign(
+    new_positions.push_back(pos);
+    jobs.push_back(crypto::SignJob{
         AttestCanonical(AttestPurpose::kTransmission, flight.record.src_site,
-                        pos, digest)));
+                        pos, digest)});
+  }
+  if (jobs.empty()) return;
+
+  // Phase 2: self-attest the whole batch. Fans out to workers when the
+  // host's Runner is threaded; under the InlineRunner this degenerates to
+  // the seed's per-record Sign loop. Signing sends nothing, so batching
+  // here cannot reorder the send sequence phase 3 produces.
+  host_->signer_->SignBatch(&jobs, host_->runner());
+
+  // Phase 3: collect f_i+1 signatures for the validity of P from local
+  // nodes (our own plus f_i others) and ship, in scan order.
+  for (size_t i = 0; i < new_positions.size(); ++i) {
+    Flight& flight = flights_.at(new_positions[i]);
+    flight.record.sigs.push_back(jobs[i].sig);
     if (static_cast<int>(flight.record.sigs.size()) >=
         host_->options_.fi + 1) {
       flight.sigs_complete = true;
       Transmit(flight, /*widen=*/false);
     } else {
-      RequestAttestations(pos);
+      RequestAttestations(new_positions[i]);
     }
-    ArmRetransmit(pos);
+    ArmRetransmit(new_positions[i]);
   }
 }
 
@@ -103,24 +120,44 @@ void CommDaemon::RequestAttestations(uint64_t pos) {
   }
 }
 
-void CommDaemon::OnAttestResponse(const net::Message& msg) {
-  AttestResponseMsg response;
-  if (!AttestResponseMsg::Decode(msg.body(), &response).ok()) return;
-  if (response.purpose != AttestPurpose::kTransmission) return;
+void CommDaemon::OnAttestResponseDecoded(net::NodeId src,
+                                         const AttestResponseMsg& response) {
+  if (response.sig.signer != src) return;  // also checked by the prologue
   auto it = flights_.find(response.pos);
   if (it == flights_.end() || it->second.sigs_complete) return;
   Flight& flight = it->second;
-  if (response.sig.signer != msg.src) return;
-  if (host_->options_.sign_messages) {
-    Bytes canonical = AttestCanonical(
-        AttestPurpose::kTransmission, flight.record.src_site,
-        flight.record.src_log_pos, flight.record.ContentDigest());
-    if (!host_->keys()->Verify(canonical, response.sig)) return;
+  if (!host_->options_.sign_messages) {
+    ApplyAttestation(response.pos, response.sig);
+    return;
   }
-  for (const crypto::Signature& sig : flight.record.sigs) {
-    if (sig.signer == response.sig.signer) return;  // duplicate
+  // Capture-at-submit: the canonical bytes come from the flight as it
+  // exists right now (we are on the retire thread, where flight state is
+  // safe to read); the worker verifies the MAC over that immutable copy
+  // and the ordered epilogue re-validates the flight before applying.
+  auto canonical = std::make_shared<Bytes>(AttestCanonical(
+      AttestPurpose::kTransmission, flight.record.src_site,
+      flight.record.src_log_pos, flight.record.ContentDigest()));
+  uint64_t pos = response.pos;
+  crypto::Signature sig = response.sig;
+  common::Runner* runner = host_->runner();
+  runner->RunPrologue(
+      [this, runner, canonical, pos, sig]() -> common::Runner::Epilogue {
+        bool ok = runner->serial()
+                      ? host_->keys()->Verify(*canonical, sig)
+                      : host_->keys()->VerifyDetached(*canonical, sig);
+        if (!ok) return nullptr;
+        return [this, pos, sig] { ApplyAttestation(pos, sig); };
+      });
+}
+
+void CommDaemon::ApplyAttestation(uint64_t pos, const crypto::Signature& sig) {
+  auto it = flights_.find(pos);
+  if (it == flights_.end() || it->second.sigs_complete) return;
+  Flight& flight = it->second;
+  for (const crypto::Signature& existing : flight.record.sigs) {
+    if (existing.signer == sig.signer) return;  // duplicate
   }
-  flight.record.sigs.push_back(response.sig);
+  flight.record.sigs.push_back(sig);
   if (static_cast<int>(flight.record.sigs.size()) < host_->options_.fi + 1) {
     return;
   }

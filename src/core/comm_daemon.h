@@ -29,6 +29,7 @@
 namespace blockplane::core {
 
 class BlockplaneNode;
+struct AttestResponseMsg;
 
 class CommDaemon {
  public:
@@ -39,8 +40,15 @@ class CommDaemon {
   /// Called by the host node when its log (or geo-proof store) grows.
   void NotifyLogAppend();
 
-  /// Routes kTransmissionAck / kAttestResponse / kRecvStatusReply traffic.
+  /// Routes kTransmissionAck / kRecvStatusReply traffic.
   void OnMessage(const net::Message& msg);
+
+  /// A decoded attestation response (the host node's prologue already
+  /// decoded it and checked signer==src). Submits a signature-verify
+  /// prologue through the host's Runner; the epilogue re-validates the
+  /// flight before applying (DESIGN.md §12).
+  void OnAttestResponseDecoded(net::NodeId src,
+                               const AttestResponseMsg& response);
 
   /// Byzantine test hook: the daemon keeps claiming to work but sends
   /// nothing (the reserve should take over).
@@ -61,7 +69,10 @@ class CommDaemon {
   };
 
   void PumpPipeline();
-  void OnAttestResponse(const net::Message& msg);
+  /// Ordered epilogue of a verified attestation: re-finds the flight (it
+  /// may have completed or been acked away while the verify was in
+  /// flight), dedups signers, and transmits on the f_i+1-th signature.
+  void ApplyAttestation(uint64_t pos, const crypto::Signature& sig);
   void OnTransmissionAck(const net::Message& msg);
   void OnRecvStatusReply(const net::Message& msg);
   void Transmit(Flight& flight, bool widen);

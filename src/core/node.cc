@@ -38,12 +38,17 @@ BlockplaneNode::BlockplaneNode(net::Network* network, crypto::KeyStore* keys,
       options_(options),
       self_(self),
       origin_site_(origin_site) {
+  runner_ = options_.runner != nullptr ? options_.runner
+                                       : common::DefaultRunner();
   group.hash_payloads = options_.hash_payloads;
   group.sign_messages = options_.sign_messages;
   group.view_timeout = options_.local_view_timeout;
   group.client_retry = options_.local_client_retry;
   group.checkpoint_interval = options_.checkpoint_interval;
   group.window = options_.pbft_window;
+  // One runner per deployment: the replica shares this node's seam so all
+  // of a node's epilogues retire in one delivery order (DESIGN.md §12).
+  group.runner = runner_;
   replica_ = std::make_unique<pbft::PbftReplica>(
       network_, keys_, std::move(group), self_,
       [this](uint64_t seq, const Bytes& value) { OnExecute(seq, value); });
@@ -75,12 +80,36 @@ void BlockplaneNode::SendTo(net::NodeId dst, net::MessageType type,
 }
 
 void BlockplaneNode::HandleMessage(const net::Message& msg) {
+  // Runner seam (DESIGN.md §12). PBFT traffic submits its own prologues
+  // inside the replica; the transmission/attestation hot paths get decode
+  // (and signature-check) prologues here; everything else rides a
+  // pass-through prologue so threaded epilogues still retire in this
+  // node's delivery order.
+  if (msg.type >= 100 && msg.type < 200) {
+    // kReply messages addressed to this node are answers to SubmitLocalCommit
+    // requests; execution is what matters, so they need no handling.
+    if (msg.type == pbft::kReply) return;
+    replica_->HandleMessage(msg);
+    return;
+  }
   switch (msg.type) {
     case kTransmission:
-      OnTransmission(msg);
+      runner_->RunPrologue(PrologueTransmission(msg));
       return;
-    case kTransmissionAck:
     case kAttestResponse:
+      runner_->RunPrologue(PrologueAttestResponse(msg));
+      return;
+    default:
+      runner_->RunPrologue([this, msg]() -> common::Runner::Epilogue {
+        return [this, msg] { DispatchSerial(msg); };
+      });
+      return;
+  }
+}
+
+void BlockplaneNode::DispatchSerial(const net::Message& msg) {
+  switch (msg.type) {
+    case kTransmissionAck:
     case kRecvStatusReply:
       for (auto& daemon : daemons_) daemon->OnMessage(msg);
       return;
@@ -149,12 +178,6 @@ void BlockplaneNode::HandleMessage(const net::Message& msg) {
     }
     default:
       break;
-  }
-  if (msg.type >= 100 && msg.type < 200) {
-    // kReply messages addressed to this node are answers to SubmitLocalCommit
-    // requests; execution is what matters, so they need no handling.
-    if (msg.type == pbft::kReply) return;
-    replica_->HandleMessage(msg);
   }
 }
 
@@ -666,21 +689,54 @@ void BlockplaneNode::TryInstallSyncedLog() {
 
 // --- transmissions ---------------------------------------------------------------
 
-void BlockplaneNode::OnTransmission(const net::Message& msg) {
-  TransmissionRecord tr;
-  if (!TransmissionRecord::Decode(msg.body(), &tr).ok()) return;
-  if (is_mirror() || tr.dest_site != origin_site_) return;
+common::Runner::Prologue BlockplaneNode::PrologueTransmission(
+    net::Message msg) {
+  // The decode (the bulk of the per-record receive cost: payload bytes plus
+  // the geo-proof vector) runs on a worker; everything that reads node
+  // state waits for the ordered epilogue. is_mirror()/origin_site_ are
+  // fixed at construction, so the early drops are pure.
+  return [this, msg = std::move(msg)]() -> common::Runner::Epilogue {
+    auto tr = std::make_shared<TransmissionRecord>();
+    if (!TransmissionRecord::Decode(msg.body(), tr.get()).ok()) return nullptr;
+    if (is_mirror() || tr->dest_site != origin_site_) return nullptr;
+    net::NodeId src = msg.src;
+    return [this, src, tr] { OnTransmissionDecoded(src, std::move(*tr)); };
+  };
+}
 
+common::Runner::Prologue BlockplaneNode::PrologueAttestResponse(
+    net::Message msg) {
+  // Decode on a worker; the signer==src sanity check only needs the message
+  // envelope. Flight lookup and signature verification stay with the
+  // daemons (which submit their own verify prologues).
+  return [this, msg = std::move(msg)]() -> common::Runner::Epilogue {
+    auto response = std::make_shared<AttestResponseMsg>();
+    if (!AttestResponseMsg::Decode(msg.body(), response.get()).ok()) {
+      return nullptr;
+    }
+    if (response->purpose != AttestPurpose::kTransmission) return nullptr;
+    if (response->sig.signer != msg.src) return nullptr;
+    net::NodeId src = msg.src;
+    return [this, src, response] {
+      for (auto& daemon : daemons_) {
+        daemon->OnAttestResponseDecoded(src, *response);
+      }
+    };
+  };
+}
+
+void BlockplaneNode::OnTransmissionDecoded(net::NodeId src,
+                                           TransmissionRecord tr) {
   if (tr.src_log_pos <= last_received_pos(tr.src_site)) {
     // Already in the Local Log (duplicate daemons or retransmission): the
     // receiving end verifies validity and duplicates are dropped (§IV-C),
     // but we still ack so the sender stops retrying.
     TransmissionAckMsg ack;
     ack.src_log_pos = tr.src_log_pos;
-    SendTo(msg.src, kTransmissionAck, ack.Encode());
+    SendTo(src, kTransmissionAck, ack.Encode());
     return;
   }
-  pending_acks_[{tr.src_site, tr.src_log_pos}].insert(msg.src);
+  pending_acks_[{tr.src_site, tr.src_log_pos}].insert(src);
   SubmitLocalCommit(tr.ToReceivedRecord());
 }
 

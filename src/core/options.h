@@ -4,6 +4,10 @@
 
 #include "sim/sim_time.h"
 
+namespace blockplane::common {
+class Runner;
+}  // namespace blockplane::common
+
 namespace blockplane::core {
 
 struct BlockplaneOptions {
@@ -58,6 +62,13 @@ struct BlockplaneOptions {
   /// implement creating and checking signatures and digests".
   bool hash_payloads = true;
   bool sign_messages = true;
+
+  /// Parallel-runtime seam (DESIGN.md §12): the Runner every node of the
+  /// deployment routes message prologues through (also handed to each
+  /// node's PBFT replica). nullptr selects the process-wide InlineRunner —
+  /// seed behavior, deterministic; the threaded harnesses inject a
+  /// ThreadPoolRunner whose submitting thread is the delivery thread.
+  common::Runner* runner = nullptr;
 
   /// When positive, each node keeps only this many recent non-communication
   /// Local Log entries in memory (communication records stay until their

@@ -25,6 +25,7 @@
 #include <tuple>
 #include <unordered_map>
 
+#include "common/runner.h"
 #include "crypto/signer.h"
 #include "net/network.h"
 #include "pbft/config.h"
@@ -182,12 +183,25 @@ class PbftReplica : public net::Host {
   void OnCommittedEntry(const net::Message& msg);
   void OnFetchSnapshot(const net::Message& msg);
   void OnSnapshot(const net::Message& msg);
-  void OnPrePrepare(const net::Message& msg);
-  void OnPrepare(const net::Message& msg);
-  void OnCommit(const net::Message& msg);
   void OnCheckpoint(const net::Message& msg);
   void OnViewChange(const net::Message& msg);
   void OnNewView(const net::Message& msg);
+
+  // -- the Runner seam (DESIGN.md §12) --
+  /// State-only handlers dispatched from an epilogue: they ride the runner
+  /// so they retire in delivery order relative to the offloaded types.
+  void DispatchSerial(const net::Message& msg);
+  /// Prologue for kPrePrepare: decode + leader/signature/digest checks,
+  /// all pure over the captured message and the immutable config/keys.
+  common::Runner::Prologue ProloguePrePrepare(net::Message msg);
+  /// Prologue for kPrepare/kCommit: decode + membership + signature check.
+  common::Runner::Prologue PrologueVote(net::Message msg);
+  /// Epilogue halves: the state-touching remainder of the old handlers.
+  void OnPrePrepareVerified(PrePrepareMsg pp, uint64_t trace_id);
+  void OnVoteVerified(VoteMsg vote, int sender, uint64_t trace_id);
+  /// Worker-thread-safe signature check for threaded prologues: skips the
+  /// verify-once cache and its counters (KeyStore::VerifyDetached).
+  bool VerifySigPure(const Bytes& canonical, const Signature& sig) const;
 
   // -- leader logic --
   void MaybeProposeNext();
@@ -262,6 +276,8 @@ class PbftReplica : public net::Host {
   crypto::KeyStore* keys_;
   std::unique_ptr<crypto::Signer> signer_;
   PbftConfig config_;
+  /// config_.runner, or the process-wide InlineRunner. Never null.
+  common::Runner* runner_;
   net::NodeId self_;
   int index_;
   ExecuteCallback execute_;
