@@ -17,6 +17,7 @@ Facts per file (see FileFacts):
   * unordered_map/unordered_set variable names (direct declarations
     and via `using Alias = std::unordered_...` aliases)
   * Tracer::Mark call sites and the kTracePhases catalog
+  * CongestionGauge call sites and the kCongestionGaugeKeys catalog
   * `bplint:allow(...)` suppressions and `bplint:` file markers
   * identifier usage contexts used by BP004 (case labels, ==/!=
     comparisons)
@@ -95,6 +96,12 @@ class MarkCall:
 
 
 @dataclass
+class GaugeCall:
+    line: int
+    key: str
+
+
+@dataclass
 class FileFacts:
     path: str
     tokens: List[Tok] = field(default_factory=list)
@@ -111,6 +118,9 @@ class FileFacts:
     mark_calls: List[MarkCall] = field(default_factory=list)
     trace_catalog: List[str] = field(default_factory=list)
     trace_catalog_line: int = 0
+    gauge_calls: List[GaugeCall] = field(default_factory=list)
+    gauge_catalog: List[str] = field(default_factory=list)
+    gauge_catalog_line: int = 0
     string_literals: Set[str] = field(default_factory=set)
     case_idents: Set[str] = field(default_factory=set)
     cmp_idents: Set[str] = field(default_factory=set)
@@ -512,14 +522,15 @@ def _parse_marks_and_catalog(toks: List[Tok], facts: FileFacts) -> None:
     i = 0
     while i < n:
         t = toks[i]
-        if t.kind == "id" and t.text == "Mark" and i + 1 < n and \
-                toks[i + 1].text == "(":
+        if t.kind == "id" and t.text in ("Mark", "CongestionGauge") and \
+                i + 1 < n and toks[i + 1].text == "(":
             end = match_balanced(toks, i + 1)
             args = toks[i + 2:end - 1]
-            # Split at top-level commas; the phase is argument #2.
+            # Split at top-level commas; the phase/key is argument #2
+            # (Mark(trace, phase, ...) / CongestionGauge(out, key, value)).
             depth = 0
             arg_idx = 0
-            phase: Optional[Tok] = None
+            name: Optional[Tok] = None
             for a in args:
                 if a.text in _OPEN:
                     depth += 1
@@ -528,22 +539,39 @@ def _parse_marks_and_catalog(toks: List[Tok], facts: FileFacts) -> None:
                 elif a.text == "," and depth == 0:
                     arg_idx += 1
                     continue
-                if arg_idx == 1 and a.kind == "str" and phase is None:
-                    phase = a
-            if phase is not None:
-                facts.mark_calls.append(MarkCall(line=phase.line,
-                                                phase=phase.text))
+                if arg_idx == 1 and a.kind == "str" and name is None:
+                    name = a
+            if name is not None:
+                if t.text == "Mark":
+                    facts.mark_calls.append(MarkCall(line=name.line,
+                                                     phase=name.text))
+                else:
+                    facts.gauge_calls.append(GaugeCall(line=name.line,
+                                                       key=name.text))
             i = end
             continue
-        if t.kind == "id" and t.text == "kTracePhases":
+        if t.kind == "id" and \
+                t.text in ("kTracePhases", "kCongestionGaugeKeys"):
+            # Only a *declaration* (`... kTracePhases[] = { ... }`) defines
+            # the catalog: require an `=` before the brace so a use site
+            # (e.g. a range-for over the catalog) doesn't swallow the
+            # following block's string literals as catalog entries.
             j = i + 1
+            saw_eq = False
             while j < n and toks[j].text not in ("{", ";"):
+                if toks[j].text == "=":
+                    saw_eq = True
                 j += 1
-            if j < n and toks[j].text == "{":
+            if j < n and toks[j].text == "{" and saw_eq:
                 end = match_balanced(toks, j)
-                facts.trace_catalog = [a.text for a in toks[j + 1:end - 1]
-                                       if a.kind == "str"]
-                facts.trace_catalog_line = t.line
+                entries = [a.text for a in toks[j + 1:end - 1]
+                           if a.kind == "str"]
+                if t.text == "kTracePhases":
+                    facts.trace_catalog = entries
+                    facts.trace_catalog_line = t.line
+                else:
+                    facts.gauge_catalog = entries
+                    facts.gauge_catalog_line = t.line
                 i = end
                 continue
         i += 1

@@ -31,3 +31,16 @@ void Instrument(Tracer* tr, unsigned long long trace, long long now) {
   tr->Mark(trace, "committed", now);
   tr->Mark(trace, "done", now);
 }
+
+inline constexpr const char* kCongestionGaugeKeys[] = {
+    "window",
+    "decreases",
+};
+
+struct GaugeMap {};
+void CongestionGauge(GaugeMap* out, const char* key, long long value);
+
+void SnapshotDemo(GaugeMap* out, long long window, long long decreases) {
+  CongestionGauge(out, "window", window);
+  CongestionGauge(out, "decreases", decreases);
+}

@@ -32,3 +32,16 @@ void Instrument(Tracer* tr, unsigned long long trace, long long now) {
   tr->Mark(trace, "submit", now);
   tr->Mark(trace, "comitted", now);  // typo: not in the catalog
 }
+
+inline constexpr const char* kCongestionGaugeKeys[] = {
+    "window",
+    "decreases",  // declared but never emitted: reads as absent
+};
+
+struct GaugeMap {};
+void CongestionGauge(GaugeMap* out, const char* key, long long value);
+
+void SnapshotDemo(GaugeMap* out, long long window) {
+  CongestionGauge(out, "window", window);
+  CongestionGauge(out, "windw", 0);  // typo: not in the catalog
+}

@@ -20,8 +20,10 @@ Rule catalog (see DESIGN.md section 11 for the rationale):
          (src/core, src/pbft, src/paxos, src/crypto, or files marked
          `bplint:consensus-path`).
   BP006  metrics/trace hygiene: every *Stats counter is registered
-         with MetricsRegistry, and every Tracer::Mark phase is in the
-         kTracePhases catalog (and vice versa).
+         with MetricsRegistry, every Tracer::Mark phase is in the
+         kTracePhases catalog (and vice versa), and every
+         CongestionGauge key is in the kCongestionGaugeKeys catalog
+         (and vice versa).
   BP007  mutable static / un-mutexed namespace-scope state in files on
          a Runner prologue path (RunPrologue / SignBatch / VerifyBatch /
          VerifyDetached, or `bplint:runner-prologue-path`): prologues
@@ -47,8 +49,9 @@ RULE_DESCRIPTIONS = [
     ("BP004", "message-type enum dispatch is non-exhaustive or an "
               "enumerator is never dispatched"),
     ("BP005", "floating point in a consensus/state-machine/digest path"),
-    ("BP006", "metrics counter not registered with MetricsRegistry, or "
-              "trace phase mark outside the kTracePhases catalog"),
+    ("BP006", "metrics counter not registered with MetricsRegistry, "
+              "trace phase mark outside the kTracePhases catalog, or "
+              "congestion gauge key outside kCongestionGaugeKeys"),
     ("BP007", "mutable static or un-mutexed namespace-scope state in a "
               "file on a Runner prologue path (worker threads may race "
               "on it)"),
@@ -366,25 +369,58 @@ def rule_bp006(project: Project) -> Iterable[Diagnostic]:
             if catalog_file is None:
                 catalog_file = f
                 catalog_line = f.trace_catalog_line
-    if not catalog:
-        return
-    used: Set[str] = set()
-    for f in project.files:
-        for call in f.mark_calls:
-            used.add(call.phase)
-            if call.phase not in catalog:
+    if catalog:
+        used: Set[str] = set()
+        for f in project.files:
+            for call in f.mark_calls:
+                used.add(call.phase)
+                if call.phase not in catalog:
+                    yield Diagnostic(
+                        f.path, call.line, "BP006",
+                        f"trace phase \"{call.phase}\" is not in the "
+                        f"kTracePhases catalog; add it (in pipeline order) "
+                        f"or fix the call site")
+        for phase in catalog:
+            if phase not in used:
                 yield Diagnostic(
-                    f.path, call.line, "BP006",
-                    f"trace phase \"{call.phase}\" is not in the "
-                    f"kTracePhases catalog; add it (in pipeline order) or "
-                    f"fix the call site")
-    for phase in catalog:
-        if phase not in used:
-            yield Diagnostic(
-                catalog_file.path, catalog_line, "BP006",
-                f"kTracePhases entry \"{phase}\" has no Mark() call site: "
-                f"a span opened earlier can never close on it (stale "
-                f"catalog or missing instrumentation)")
+                    catalog_file.path, catalog_line, "BP006",
+                    f"kTracePhases entry \"{phase}\" has no Mark() call "
+                    f"site: a span opened earlier can never close on it "
+                    f"(stale catalog or missing instrumentation)")
+
+    # (c) congestion-gauge hygiene against the kCongestionGaugeKeys
+    # catalog: a key outside the catalog is invisible to the adaptive-
+    # window dashboards/benches keyed on it, and a catalog entry nothing
+    # emits means a documented gauge silently reads as absent.
+    gauge_catalog: List[str] = []
+    gauge_file: FileFacts = None  # type: ignore[assignment]
+    gauge_line = 0
+    for f in project.files:
+        if f.gauge_catalog:
+            gauge_catalog.extend(k for k in f.gauge_catalog
+                                 if k not in gauge_catalog)
+            if gauge_file is None:
+                gauge_file = f
+                gauge_line = f.gauge_catalog_line
+    if gauge_catalog:
+        emitted: Set[str] = set()
+        for f in project.files:
+            for call in f.gauge_calls:
+                emitted.add(call.key)
+                if call.key not in gauge_catalog:
+                    yield Diagnostic(
+                        f.path, call.line, "BP006",
+                        f"congestion gauge key \"{call.key}\" is not in "
+                        f"the kCongestionGaugeKeys catalog; add it or fix "
+                        f"the emission site")
+        for key in gauge_catalog:
+            if key not in emitted:
+                yield Diagnostic(
+                    gauge_file.path, gauge_line, "BP006",
+                    f"kCongestionGaugeKeys entry \"{key}\" has no "
+                    f"CongestionGauge emission: the documented gauge "
+                    f"silently reads as absent (stale catalog or missing "
+                    f"instrumentation)")
 
 
 # ---------------------------------------------------------------------------

@@ -9,7 +9,11 @@
 #      JSON when python3 is available).
 #   3. Pipeline smoke: bench_pipeline --smoke compares window 1 vs 8 on
 #      the Table-I WAN matrix and fails unless window 8 is strictly
-#      faster (the DESIGN.md §9 pipelining regression gate).
+#      faster (the DESIGN.md §9 pipelining regression gate), then sweeps
+#      adaptive vs static daemon windows over the remote-delivery path
+#      with and without injected loss and fails unless adaptive beats
+#      the best static window under loss while matching it lossless
+#      (the DESIGN.md §13 congestion-control gate).
 #   3b. Parallel-runtime smoke: bench_parallel_runtime --smoke sweeps the
 #       Runner seam (inline + 1/2/4/8 workers, DESIGN.md §12), checking
 #       threaded results element-for-element against inline; the >=3x
@@ -129,7 +133,7 @@ if command -v python3 >/dev/null 2>&1; then
 fi
 echo "metrics snapshot OK (build/METRICS_dump.json)"
 
-echo "=== pass 3: pipeline smoke (window 1 vs 8) ==="
+echo "=== pass 3: pipeline smoke (window 1 vs 8, adaptive vs static) ==="
 build/bench/bench_pipeline --smoke --out=build/BENCH_pipeline.json
 if command -v python3 >/dev/null 2>&1; then
   python3 -c "import json,sys; json.load(open('build/BENCH_pipeline.json'))" \

@@ -72,6 +72,7 @@ class Engine {
     }
     CheckLogAgreement();
     CheckMirrorContiguity();
+    CollectCongestion();
     report_.ok = report_.failures.empty();
     return std::move(report_);
   }
@@ -83,6 +84,7 @@ class Engine {
     options.fg = cfg.fg;
     options.pbft_window = cfg.pbft_window;
     options.participant_window = cfg.participant_window;
+    options.congestion.adaptive = cfg.adaptive_windows;
     // Byzantine detection depends on real signatures; corruption bursts
     // depend on real digests. Chaos always runs with crypto on.
     options.sign_messages = true;
@@ -434,6 +436,35 @@ class Engine {
     }
   }
 
+  /// Snapshots the per-controller "congestion.<label>" gauge groups while
+  /// the deployment is still alive (controllers unregister on teardown)
+  /// plus the process-wide aggregates. All zeros when adaptive is off.
+  void CollectCongestion() {
+    const CongestionStats& cs = congestion_stats();
+    report_.congestion_loss_events = cs.loss_events;
+    report_.congestion_decreases = cs.decreases;
+    bool any = false;
+    for (const auto& [group, counters] : metrics_registry().Snapshot()) {
+      if (group.rfind("congestion.", 0) != 0) continue;
+      auto window = counters.find("window");
+      auto min_seen = counters.find("min_window_seen");
+      if (window == counters.end() || min_seen == counters.end()) continue;
+      if (!any) {
+        any = true;
+        report_.window_final_min = window->second;
+        report_.window_final_max = window->second;
+        report_.window_min_seen = min_seen->second;
+      } else {
+        report_.window_final_min =
+            std::min(report_.window_final_min, window->second);
+        report_.window_final_max =
+            std::max(report_.window_final_max, window->second);
+        report_.window_min_seen =
+            std::min(report_.window_min_seen, min_seen->second);
+      }
+    }
+  }
+
   const Campaign& campaign_;
   const CampaignConfig& cfg_;
   sim::Simulator sim_;
@@ -472,6 +503,10 @@ std::string ChaosReport::ToString() const {
 }
 
 ChaosReport RunCampaign(const Campaign& campaign) {
+  // The congestion aggregates are process-wide; reset so the report's
+  // numbers are attributable to this campaign alone (controllers are
+  // created during Deployment construction, hence before Engine::Run).
+  congestion_stats().Reset();
   Engine engine(campaign);
   return engine.Run();
 }

@@ -33,6 +33,11 @@ RunnerStats& runner_stats() {
   return stats;
 }
 
+CongestionStats& congestion_stats() {
+  static CongestionStats stats;
+  return stats;
+}
+
 // --- MetricsRegistry ---------------------------------------------------------
 
 MetricsRegistry::MetricsRegistry() {
@@ -61,6 +66,7 @@ MetricsRegistry::MetricsRegistry() {
             {"discarded_corrupt", s.discarded_corrupt},
             {"frames_abandoned", s.frames_abandoned},
             {"bytes_copied_saved", s.bytes_copied_saved},
+            {"rtt_samples", s.rtt_samples},
         };
       },
       []() { transport_stats().Reset(); });
@@ -77,6 +83,8 @@ MetricsRegistry::MetricsRegistry() {
             {"participant_inflight_peak", s.participant_inflight_peak},
             {"participant_ooo_completions", s.participant_ooo_completions},
             {"batcher_inflight_peak", s.batcher_inflight_peak},
+            {"participant_window_stalls", s.participant_window_stalls},
+            {"daemon_window_stalls", s.daemon_window_stalls},
         };
       },
       []() { pipeline_stats().Reset(); });
@@ -111,6 +119,20 @@ MetricsRegistry::MetricsRegistry() {
         };
       },
       []() { runner_stats().Reset(); });
+  Register(
+      "congestion",
+      []() {
+        const CongestionStats& s = congestion_stats();
+        return std::map<std::string, int64_t>{
+            {"controllers_created", s.controllers_created},
+            {"rtt_samples", s.rtt_samples},
+            {"increases", s.increases},
+            {"decreases", s.decreases},
+            {"loss_events", s.loss_events},
+            {"viewchange_decreases", s.viewchange_decreases},
+        };
+      },
+      []() { congestion_stats().Reset(); });
 }
 
 int64_t MetricsRegistry::Register(std::string name, SnapshotFn snapshot,

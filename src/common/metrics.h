@@ -104,6 +104,9 @@ struct TransportStats {
   /// by-value signature deep-copied every payload once at the API boundary
   /// before the frame encoder copied it again).
   int64_t bytes_copied_saved = 0;
+  /// Clean per-peer RTT samples fed into the retransmission-timer
+  /// estimator (acks of never-retransmitted frames; Karn's rule).
+  int64_t rtt_samples = 0;
 
   void Reset() { *this = TransportStats{}; }
 };
@@ -137,12 +140,47 @@ struct PipelineStats {
   int64_t participant_ooo_completions = 0;
   /// Peak number of concurrently in-flight batcher group commits.
   int64_t batcher_inflight_peak = 0;
+  /// Distinct episodes in which a participant had queued ops but its geo
+  /// window was full. An episode ends when any op is admitted (partial
+  /// drain), not only when the queue empties.
+  int64_t participant_window_stalls = 0;
+  /// Distinct episodes in which a comm daemon had committed communication
+  /// records to ship but its flight window was full. Episode semantics as
+  /// above: any admission closes the episode.
+  int64_t daemon_window_stalls = 0;
 
   void Reset() { *this = PipelineStats{}; }
 };
 
 /// The process-wide pipeline counter block.
 PipelineStats& pipeline_stats();
+
+/// Process-wide aggregate counters for the adaptive per-destination window
+/// controllers (DESIGN.md §13). Each live controller additionally registers
+/// its own "congestion.<label>" gauge group with the registry; this block
+/// sums the events across all controllers (and outlives them, so tests can
+/// assert on totals after a deployment is torn down). Observability-only.
+struct CongestionStats {
+  /// WindowController instances constructed (adaptive mode only).
+  int64_t controllers_created = 0;
+  /// Clean RTT samples accepted by controllers (Karn-filtered).
+  int64_t rtt_samples = 0;
+  /// Additive window increases (slow-start and congestion-avoidance).
+  int64_t increases = 0;
+  /// Multiplicative decreases actually applied (spike threshold crossed or
+  /// view-change churn, rate-limited to one per RTO).
+  int64_t decreases = 0;
+  /// Raw loss signals observed (retransmission timeouts); a spike of these
+  /// within one RTO is what triggers a decrease.
+  int64_t loss_events = 0;
+  /// Decreases attributed to view-change churn rather than loss spikes.
+  int64_t viewchange_decreases = 0;
+
+  void Reset() { *this = CongestionStats{}; }
+};
+
+/// The process-wide congestion counter block.
+CongestionStats& congestion_stats();
 
 /// Process-wide counters for robustness machinery: view-change retry
 /// backoff and the commit-time geo-contiguity quarantine (DESIGN.md §10).

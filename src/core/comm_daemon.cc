@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/runner.h"
 #include "common/trace.h"
+#include "core/congestion.h"
 #include "core/node.h"
 #include "core/wire.h"
 
@@ -12,6 +14,24 @@ namespace blockplane::core {
 
 CommDaemon::CommDaemon(BlockplaneNode* host, net::SiteId dest, bool reserve)
     : host_(host), dest_(dest), active_(!reserve) {
+  if (host_->options_.congestion.adaptive) {
+    // Per-destination flight window (DESIGN.md §13). The RTT prior is the
+    // topology round trip plus an intra-site allowance for the remote
+    // commit the ack waits on; measured samples take over immediately.
+    const CongestionOptions& c = host_->options_.congestion;
+    uint64_t initial =
+        c.initial_window != 0
+            ? c.initial_window
+            : std::max<uint64_t>(1, host_->options_.daemon_window);
+    sim::SimTime prior =
+        host_->network()->topology().Rtt(host_->self().site, dest_) +
+        4 * host_->network()->options().intra_site_one_way;
+    window_ctl_ = std::make_unique<WindowController>(
+        c, initial, prior,
+        "daemon_s" + std::to_string(host_->self().site) + "n" +
+            std::to_string(host_->self().index) + "_to_s" +
+            std::to_string(dest_));
+  }
   if (reserve) PollReceiver();
 }
 
@@ -47,13 +67,19 @@ void CommDaemon::PumpPipeline() {
   if (comm_it == host_->comm_positions_.end()) return;
   const std::vector<uint64_t>& positions = comm_it->second;
 
+  // Flight admission: the adaptive controller's current window when one
+  // is installed, the static knob otherwise.
+  size_t window = window_ctl_ ? static_cast<size_t>(window_ctl_->window())
+                              : host_->options_.daemon_window;
+
   // Phase 1: build the new flights and collect their attestation bodies
   // (digest + canonical encode — the CPU-heavy part of the scan).
   std::vector<uint64_t> new_positions;
   std::vector<crypto::SignJob> jobs;
-  for (auto pos_it = std::upper_bound(positions.begin(), positions.end(),
-                                      std::max(next_send_pos_, acked_pos_));
-       pos_it != positions.end() && flights_.size() < host_->options_.daemon_window; ++pos_it) {
+  auto pos_it = std::upper_bound(positions.begin(), positions.end(),
+                                 std::max(next_send_pos_, acked_pos_));
+  bool geo_proof_wait = false;
+  for (; pos_it != positions.end() && flights_.size() < window; ++pos_it) {
     uint64_t pos = *pos_it;
     const LogRecord& record = host_->log_.at(pos);
 
@@ -62,7 +88,10 @@ void CommDaemon::PumpPipeline() {
     std::vector<crypto::Signature> geo_proof;
     if (host_->options_.fg > 0) {
       auto proof_it = host_->geo_proofs_.find(pos);
-      if (proof_it == host_->geo_proofs_.end()) break;  // keep order
+      if (proof_it == host_->geo_proofs_.end()) {
+        geo_proof_wait = true;  // blocked on proofs, not on the window
+        break;                  // keep order
+      }
       geo_proof = proof_it->second;
     }
 
@@ -84,6 +113,16 @@ void CommDaemon::PumpPipeline() {
         AttestCanonical(AttestPurpose::kTransmission, flight.record.src_site,
                         pos, digest)});
   }
+  // Stall accounting: an *episode* opens when admission is blocked purely
+  // by the flight window while sendable work remains, and closes on any
+  // admission (partial drains count). Counting per pump invocation would
+  // inflate the metric with poll ticks.
+  if (!new_positions.empty()) window_stalled_ = false;
+  if (!geo_proof_wait && pos_it != positions.end() &&
+      flights_.size() >= window && !window_stalled_) {
+    window_stalled_ = true;
+    ++pipeline_stats().daemon_window_stalls;
+  }
   if (jobs.empty()) return;
 
   // Phase 2: self-attest the whole batch. Fans out to workers when the
@@ -100,7 +139,11 @@ void CommDaemon::PumpPipeline() {
     if (static_cast<int>(flight.record.sigs.size()) >=
         host_->options_.fi + 1) {
       flight.sigs_complete = true;
-      Transmit(flight, /*widen=*/false);
+      if (window_ctl_) {
+        TransmitReady();  // in-order shipping (see TransmitReady)
+      } else {
+        Transmit(flight, /*widen=*/false);
+      }
     } else {
       RequestAttestations(new_positions[i]);
     }
@@ -162,11 +205,41 @@ void CommDaemon::ApplyAttestation(uint64_t pos, const crypto::Signature& sig) {
     return;
   }
   flight.sigs_complete = true;
+  if (window_ctl_) {
+    // In-order shipping: this flight may have been blocking later
+    // sigs-complete flights, and it may itself be blocked behind an
+    // earlier one still collecting signatures.
+    TransmitReady();
+    // The pending timer was armed with the attest-retry period while
+    // signatures were outstanding; re-arm so the first wire retransmit
+    // uses the measured, per-destination timeout.
+    host_->network()->simulator()->Cancel(flight.retransmit_timer);
+    flight.retransmit_timer = sim::kInvalidEventId;
+    ArmRetransmit(pos);
+    return;
+  }
   Transmit(flight, /*widen=*/false);
+}
+
+void CommDaemon::TransmitReady() {
+  // First transmissions go on the wire strictly in log order (adaptive
+  // mode): the receiver rejects any record that does not extend its chain
+  // watermark, so shipping a later record while an earlier one is still
+  // collecting signatures produces guaranteed rejections and an RTO-sized
+  // recovery stall once the stragglers finally arrive. (The static path
+  // keeps the seed's ship-on-completion behavior bit-identically.)
+  for (auto& [pos, flight] : flights_) {
+    if (!flight.sigs_complete) break;
+    if (flight.first_transmit == 0) Transmit(flight, /*widen=*/false);
+  }
 }
 
 void CommDaemon::Transmit(Flight& flight, bool widen) {
   if (muted_) return;  // byzantine: pretends to send
+  flight.last_transmit = host_->network()->simulator()->Now();
+  if (flight.first_transmit == 0) {
+    flight.first_transmit = flight.last_transmit;
+  }
   Tracer& tr = tracer();
   if (tr.enabled()) {
     TraceId trace = tr.LookupCommRecord(host_->origin_site(),
@@ -193,25 +266,145 @@ void CommDaemon::ArmRetransmit(uint64_t pos) {
   sim::Simulator* simulator = host_->network()->simulator();
   auto it = flights_.find(pos);
   if (it == flights_.end()) return;
-  it->second.retransmit_timer = simulator->Schedule(
-      host_->options_.transmission_retry, [this, pos]() {
+  // Signature collection is intra-site; only the wire retransmit (sigs
+  // complete, record in flight to dest_) uses the measured RTO.
+  sim::SimTime period = host_->options_.transmission_retry;
+  if (window_ctl_) {
+    if (it->second.sigs_complete) {
+      period = window_ctl_->RetryTimeout(host_->options_.congestion.min_rto,
+                                         host_->options_.transmission_retry);
+    } else {
+      // Attestation round trips are a couple of intra-site hops; retrying
+      // a lost attest response on the WAN-scale static period would park
+      // the flight (and everything chained behind it) for half a second.
+      period = std::max(host_->options_.congestion.min_rto,
+                        8 * host_->network()->options().intra_site_one_way);
+    }
+  }
+  it->second.retransmit_timer =
+      simulator->Schedule(period, [this, pos, period]() {
         auto flight_it = flights_.find(pos);
         if (flight_it == flights_.end()) return;
-        Flight& flight = flight_it->second;
-        flight.retransmit_timer = sim::kInvalidEventId;
-        if (flight.sigs_complete) {
-          Transmit(flight, /*widen=*/true);
-        } else {
-          RequestAttestations(pos);
-        }
-        ArmRetransmit(pos);
+        flight_it->second.retransmit_timer = sim::kInvalidEventId;
+        OnRetransmitTimer(pos, period);
       });
+}
+
+void CommDaemon::OnRetransmitTimer(uint64_t pos, sim::SimTime period) {
+  auto it = flights_.find(pos);
+  if (it == flights_.end()) return;
+  Flight& flight = it->second;
+  if (!flight.sigs_complete) {
+    RequestAttestations(pos);
+    ArmRetransmit(pos);
+    return;
+  }
+  if (window_ctl_ && flight.first_transmit == 0) {
+    // Never been on the wire: blocked behind an earlier flight still
+    // collecting signatures (in-order shipping). TransmitReady ships it
+    // the moment the chain ahead completes; keep the timer as a backstop.
+    TransmitReady();
+    ArmRetransmit(pos);
+    return;
+  }
+  if (window_ctl_ && flight.first_transmit != 0) {
+    sim::Simulator* simulator = host_->network()->simulator();
+    sim::SimTime now = simulator->Now();
+    // Progress-deferred timeout: the receiver commits in order, so flowing
+    // acks prove the path (and the stream ahead of this flight) is alive.
+    // A timeout only counts once nothing progressed for a full RTO since
+    // the last transmission — otherwise the destination-side commit queue
+    // under a deep window would make every flight's timer fire spuriously,
+    // and Karn's rule would then starve the estimator of samples for good.
+    sim::SimTime deadline =
+        std::max(flight.last_transmit, last_progress_) + period;
+    if (now < deadline) {
+      flight.retransmit_timer =
+          simulator->Schedule(deadline - now, [this, pos, period]() {
+            auto again = flights_.find(pos);
+            if (again == flights_.end()) return;
+            again->second.retransmit_timer = sim::kInvalidEventId;
+            OnRetransmitTimer(pos, period);
+          });
+      return;
+    }
+    // The receiver validates the chain pointer strictly (no out-of-order
+    // buffering), so a dropped head means every trailing flight that
+    // arrived meanwhile was rejected too: all of them must retransmit.
+    // Only the head's timeout is a *loss signal*, though — the trailing
+    // timeouts are a symptom of the same head-of-line event.
+    flight.retransmitted = true;  // Karn: no RTT sample from this flight
+    if (flights_.begin()->first == pos) {
+      uint64_t before = window_ctl_->window();
+      window_ctl_->OnLoss(now);
+      if (window_ctl_->window() < before) {
+        // A decrease is the congestion-control event worth seeing on a
+        // timeline: anchor it to the head flight's trace.
+        Tracer& tr = tracer();
+        if (tr.enabled()) {
+          TraceId trace = tr.LookupCommRecord(host_->origin_site(),
+                                              flight.record.src_log_pos);
+          if (trace != kNoTrace) {
+            tr.Instant(trace, "congestion_decrease", "geo", now,
+                       host_->self().site, host_->self().index,
+                       window_ctl_->window());
+          }
+        }
+      }
+    }
+    Transmit(flight, /*widen=*/true);
+    ArmRetransmit(pos);
+    return;
+  }
+  Transmit(flight, /*widen=*/true);
+  ArmRetransmit(pos);
 }
 
 void CommDaemon::OnTransmissionAck(const net::Message& msg) {
   TransmissionAckMsg ack;
   if (!TransmissionAckMsg::Decode(msg.body(), &ack).ok()) return;
   if (msg.src.site != dest_) return;
+  // Any ack from the destination is progress for the in-order stream; the
+  // adaptive retransmit timers defer to it (see last_progress_).
+  last_progress_ = host_->network()->simulator()->Now();
+  if (window_ctl_) {
+    // Cumulative ack interpretation (adaptive mode only — the static path
+    // must stay bit-identical): the receiver commits the chain strictly
+    // in order, so a node acknowledging position p has committed every
+    // earlier position too. Crediting the ack to all flights <= p
+    // unsticks a head flight whose own ack frame was dropped — the
+    // stream is fine, only the ack was lost, yet exact-match acking
+    // would pin the watermark and progress-defer its timer forever.
+    bool completed = false;
+    for (auto it = flights_.begin();
+         it != flights_.end() && it->first <= ack.src_log_pos;) {
+      Flight& flight = it->second;
+      flight.ack_senders.insert(msg.src);
+      if (static_cast<int>(flight.ack_senders.size()) <
+          host_->options_.fi + 1) {
+        ++it;
+        continue;
+      }
+      // f_i+1 destination nodes confirmed the commit: one is honest.
+      // Only the exactly-acked flight yields an RTT sample — a flight
+      // completed by cumulative credit lost its own ack, so its round
+      // trip measurement includes the dead time (Karn's rule in spirit).
+      if (it->first == ack.src_log_pos && flight.first_transmit != 0 &&
+          !flight.retransmitted) {
+        window_ctl_->OnAck(last_progress_ - flight.first_transmit);
+      } else {
+        window_ctl_->OnAckNoSample();
+      }
+      host_->network()->simulator()->Cancel(flight.retransmit_timer);
+      acked_out_of_order_.insert(it->first);
+      it = flights_.erase(it);
+      completed = true;
+    }
+    if (!completed) return;
+    AdvanceAckedWatermark();
+    PumpPipeline();
+    return;
+  }
   auto it = flights_.find(ack.src_log_pos);
   if (it == flights_.end()) return;
   Flight& flight = it->second;

@@ -20,6 +20,7 @@
 #define BLOCKPLANE_CORE_COMM_DAEMON_H_
 
 #include <map>
+#include <memory>
 #include <set>
 #include <vector>
 
@@ -29,6 +30,7 @@
 namespace blockplane::core {
 
 class BlockplaneNode;
+class WindowController;
 struct AttestResponseMsg;
 
 class CommDaemon {
@@ -66,6 +68,14 @@ class CommDaemon {
     bool sigs_complete = false;
     std::set<net::NodeId> ack_senders;
     sim::EventId retransmit_timer = sim::kInvalidEventId;
+    /// Time of the first actual wire transmission (0 = not yet sent).
+    sim::SimTime first_transmit = 0;
+    /// Time of the most recent wire transmission (adaptive timer deadline
+    /// base).
+    sim::SimTime last_transmit = 0;
+    /// The flight was actually retransmitted on the wire: Karn's rule
+    /// excludes it from RTT sampling.
+    bool retransmitted = false;
   };
 
   void PumpPipeline();
@@ -76,8 +86,16 @@ class CommDaemon {
   void OnTransmissionAck(const net::Message& msg);
   void OnRecvStatusReply(const net::Message& msg);
   void Transmit(Flight& flight, bool widen);
+  /// Ships every sigs-complete flight that has never been transmitted, in
+  /// log order, stopping at the first flight still collecting signatures
+  /// (adaptive mode only — static mode ships each flight on completion).
+  void TransmitReady();
   void RequestAttestations(uint64_t pos);
   void ArmRetransmit(uint64_t pos);
+  /// Retransmit-timer fire: static mode retransmits unconditionally (seed
+  /// behavior); adaptive mode defers while acks are flowing and lets only
+  /// the head-of-line flight retransmit and report loss (DESIGN.md §13).
+  void OnRetransmitTimer(uint64_t pos, sim::SimTime period);
   void AdvanceAckedWatermark();
   void PollReceiver();
 
@@ -90,6 +108,21 @@ class CommDaemon {
   uint64_t next_send_pos_ = 0;  // highest source-log pos already shipped
   std::map<uint64_t, Flight> flights_;   // by source-log pos
   std::set<uint64_t> acked_out_of_order_;
+
+  /// Adaptive flight window + retransmit timing toward dest_ (DESIGN.md
+  /// §13); non-null only when options.congestion.adaptive. Null keeps the
+  /// static daemon_window and transmission_retry behavior bit-identical.
+  std::unique_ptr<WindowController> window_ctl_;
+  /// Open window-stall episode flag: pipeline.daemon_window_stalls counts
+  /// episodes (any admission closes one), not pump invocations.
+  bool window_stalled_ = false;
+  /// Last time any transmission ack arrived from dest_ (adaptive mode).
+  /// The receiver commits in order, so flowing acks prove the path and
+  /// stream are alive; the adaptive retransmit timer defers to
+  /// max(last_transmit, last_progress_) + RTO instead of firing blindly —
+  /// destination-side queueing under a deep window would otherwise make
+  /// every flight's timer fire spuriously and Karn-freeze the estimator.
+  sim::SimTime last_progress_ = 0;
 
   /// Reserve state.
   sim::EventId poll_timer_ = sim::kInvalidEventId;

@@ -1,0 +1,138 @@
+#include "core/congestion.h"
+
+#include <utility>
+
+#include "common/metrics.h"
+
+namespace blockplane::core {
+
+void CongestionGauge(std::map<std::string, int64_t>* out, const char* key,
+                     int64_t value) {
+  (*out)[key] = value;
+}
+
+WindowController::WindowController(const CongestionOptions& opts,
+                                   uint64_t initial_window,
+                                   sim::SimTime rtt_prior, std::string label)
+    : opts_(opts),
+      rtt_(rtt_prior),
+      label_(std::move(label)),
+      window_(0),
+      // Slow start runs until the first decrease establishes a real
+      // ssthresh; starting it at max_window means a small initial window
+      // ramps exponentially instead of crawling toward the BDP.
+      ssthresh_(opts.max_window) {
+  window_ = Clamp(initial_window);
+  min_window_seen_ = window_;
+  congestion_stats().controllers_created++;
+  registry_handle_ = metrics_registry().Register(
+      "congestion." + label_, [this]() { return SnapshotGauges(); });
+}
+
+WindowController::~WindowController() {
+  metrics_registry().Unregister(registry_handle_);
+}
+
+uint64_t WindowController::Clamp(uint64_t window) const {
+  uint64_t lo = opts_.min_window < 1 ? 1 : opts_.min_window;
+  if (window < lo) return lo;
+  if (window > opts_.max_window) return opts_.max_window;
+  return window;
+}
+
+uint64_t WindowController::spike_threshold() const { return 3; }
+
+void WindowController::OnAck(sim::SimTime rtt) {
+  rtt_.AddSample(rtt);
+  ++rtt_samples_;
+  congestion_stats().rtt_samples++;
+  Grow();
+}
+
+void WindowController::OnAckNoSample() { Grow(); }
+
+void WindowController::Grow() {
+  if (window_ >= opts_.max_window) {
+    ack_credit_ = 0;
+    return;
+  }
+  if (window_ < ssthresh_) {
+    // Slow start: +1 per ack (the window doubles every RTT).
+    window_ = Clamp(window_ + 1);
+    ++increases_;
+    congestion_stats().increases++;
+    return;
+  }
+  // Congestion avoidance: +1 per full window of acks.
+  if (++ack_credit_ >= window_) {
+    ack_credit_ = 0;
+    window_ = Clamp(window_ + 1);
+    ++increases_;
+    congestion_stats().increases++;
+  }
+}
+
+void WindowController::OnLoss(sim::SimTime now) {
+  ++loss_events_;
+  congestion_stats().loss_events++;
+  // Head-of-line loss signals are bucketed into spike windows of
+  // spike_threshold() RTOs: isolated timeouts retransmit (with the
+  // adaptive timer) but keep the window; back-to-back head stalls — a
+  // partition or a sustained burst fires one per RTO — cross the
+  // threshold and mean the path is genuinely degraded.
+  sim::SimTime rto = rtt_.Rto(opts_.min_rto);
+  if (spike_count_ == 0 ||
+      now - spike_started_ > static_cast<sim::SimTime>(spike_threshold()) *
+                                 rto) {
+    spike_started_ = now;
+    spike_count_ = 0;
+  }
+  ++spike_count_;
+  if (spike_count_ >= spike_threshold()) {
+    Decrease(now, /*from_viewchange=*/false);
+  }
+}
+
+void WindowController::OnViewChange(sim::SimTime now) {
+  Decrease(now, /*from_viewchange=*/true);
+}
+
+void WindowController::Decrease(sim::SimTime now, bool from_viewchange) {
+  // One decrease per RTO: a burst of correlated loss signals (every
+  // in-flight item timing out at once) is one congestion event.
+  sim::SimTime rto = rtt_.Rto(opts_.min_rto);
+  if (last_decrease_ >= 0 && now - last_decrease_ < rto) return;
+  last_decrease_ = now;
+  spike_count_ = 0;
+  ssthresh_ = Clamp(window_ / 2);
+  window_ = ssthresh_;
+  ack_credit_ = 0;
+  if (window_ < min_window_seen_) min_window_seen_ = window_;
+  ++decreases_;
+  congestion_stats().decreases++;
+  if (from_viewchange) congestion_stats().viewchange_decreases++;
+}
+
+sim::SimTime WindowController::RetryTimeout(sim::SimTime floor,
+                                            sim::SimTime cap) const {
+  sim::SimTime rto = rtt_.Rto(opts_.min_rto);
+  if (rto < floor) rto = floor;
+  if (rto > cap) rto = cap;
+  return rto;
+}
+
+std::map<std::string, int64_t> WindowController::SnapshotGauges() const {
+  std::map<std::string, int64_t> out;
+  CongestionGauge(&out, "window", static_cast<int64_t>(window_));
+  CongestionGauge(&out, "min_window_seen",
+                  static_cast<int64_t>(min_window_seen_));
+  CongestionGauge(&out, "srtt_us", rtt_.srtt() / 1000);
+  CongestionGauge(&out, "rttvar_us", rtt_.rttvar() / 1000);
+  CongestionGauge(&out, "rtt_samples", rtt_samples_);
+  CongestionGauge(&out, "increases", increases_);
+  CongestionGauge(&out, "decreases", decreases_);
+  CongestionGauge(&out, "loss_events", loss_events_);
+  return out;
+}
+
+}  // namespace blockplane::core

@@ -1,0 +1,145 @@
+// Adaptive per-destination window controller (DESIGN.md §13).
+//
+// One WindowController instance sizes one pipeline window for one
+// destination: a comm daemon's flight window toward a remote site, a
+// participant's geo-round window toward a mirror site, or a unit leader's
+// PBFT proposal window. The controller is classic AIMD over a smoothed
+// per-destination RTT (common/rtt_estimator.h), with two deliberate
+// departures from textbook TCP tuned to this system:
+//
+//   * Growth uses slow start below ssthresh (+1 per clean ack) and
+//     congestion avoidance above it (+1 per window of acks), clamped to
+//     [min_window, max_window].
+//   * Decrease is driven by *spikes*, not single losses. The simulated WAN
+//     (and a real one under BFT traffic) drops messages at random even
+//     when nothing is congested; halving on every isolated timeout would
+//     starve long-RTT destinations for no benefit. Callers additionally
+//     gate OnLoss on the head-of-line item: receivers commit in order, so
+//     one dropped head makes every trailing flight's timer fire even
+//     though those records arrived — only the oldest outstanding item's
+//     timeout is evidence of loss. A multiplicative decrease fires when
+//     spike_threshold() head timeouts land inside a spike_threshold()*RTO
+//     bucket — sustained bursts, partitions — or unconditionally on
+//     view-change churn, and is rate-limited to one decrease per RTO so a
+//     burst of correlated signals counts once.
+//
+// Every controller registers a "congestion.<label>" gauge group with the
+// process MetricsRegistry for the lifetime of the controller, and feeds
+// the aggregate CongestionStats block. Integer arithmetic throughout
+// (bplint BP005): controllers run on consensus-adjacent paths.
+#ifndef BLOCKPLANE_CORE_CONGESTION_H_
+#define BLOCKPLANE_CORE_CONGESTION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/rtt_estimator.h"
+#include "core/options.h"
+#include "sim/sim_time.h"
+
+namespace blockplane::core {
+
+/// Catalog of per-controller gauge keys (bplint BP006: every
+/// CongestionGauge emission must use a key listed here, and every listed
+/// key must be emitted somewhere).
+inline constexpr const char* kCongestionGaugeKeys[] = {
+    "window",           // current window (flights / geo rounds / proposals)
+    "min_window_seen",  // low-water mark over the controller's lifetime
+    "srtt_us",          // smoothed per-destination RTT, microseconds
+    "rttvar_us",        // RTT variance estimate, microseconds
+    "rtt_samples",      // clean (Karn-filtered) samples accepted
+    "increases",        // additive increases applied
+    "decreases",        // multiplicative decreases applied
+    "loss_events",      // raw loss signals (retransmission timeouts)
+};
+
+/// Records one gauge value into a controller's snapshot map. Funneling
+/// every emission through this helper is what lets bplint check the keys
+/// against the catalog above.
+void CongestionGauge(std::map<std::string, int64_t>* out, const char* key,
+                     int64_t value);
+
+class WindowController {
+ public:
+  /// `initial_window` is the resolved starting window (callers apply the
+  /// CongestionOptions::initial_window == 0 "inherit the static knob"
+  /// rule); `rtt_prior` seeds the estimator, typically the topology RTT
+  /// plus a commit allowance; `label` names the registry gauge group
+  /// ("congestion.<label>").
+  WindowController(const CongestionOptions& opts, uint64_t initial_window,
+                   sim::SimTime rtt_prior, std::string label);
+  ~WindowController();
+
+  WindowController(const WindowController&) = delete;
+  WindowController& operator=(const WindowController&) = delete;
+
+  /// A clean (Karn-filtered) round trip completed: feed the estimator and
+  /// grow the window.
+  void OnAck(sim::SimTime rtt);
+  /// A round trip completed but involved a retransmission: grow the
+  /// window (delivery progressed) without polluting the RTT estimate.
+  void OnAckNoSample();
+  /// A loss signal — a retransmission timeout of the *head-of-line* item
+  /// (callers must not report trailing timeouts; see file comment).
+  /// Decreases the window only when signals spike; see file comment.
+  void OnLoss(sim::SimTime now);
+  /// View-change churn observed: unconditional multiplicative decrease
+  /// (still rate-limited to one per RTO).
+  void OnViewChange(sim::SimTime now);
+
+  uint64_t window() const { return window_; }
+  uint64_t ssthresh() const { return ssthresh_; }
+  /// Head-of-line loss signals within a spike_threshold()*RTO bucket
+  /// required to trigger a decrease. An isolated random drop recovers on
+  /// the first retransmit and never reaches it; a partition or sustained
+  /// burst stalls the head once per RTO and crosses it within ~3 RTOs.
+  uint64_t spike_threshold() const;
+  sim::SimTime srtt() const { return rtt_.srtt(); }
+  /// Retransmission timeout derived from the smoothed estimate, clamped
+  /// to [floor, cap]. `cap` is the static retry knob the adaptive timer
+  /// replaces, so adaptive mode never retries *later* than static mode.
+  sim::SimTime RetryTimeout(sim::SimTime floor, sim::SimTime cap) const;
+
+  uint64_t min_window_seen() const { return min_window_seen_; }
+  int64_t decreases() const { return decreases_; }
+  int64_t loss_events() const { return loss_events_; }
+  const std::string& label() const { return label_; }
+
+  /// Gauge snapshot, as registered with the MetricsRegistry.
+  std::map<std::string, int64_t> SnapshotGauges() const;
+
+ private:
+  void Grow();
+  /// Applies one multiplicative decrease if the per-RTO rate limit allows.
+  void Decrease(sim::SimTime now, bool from_viewchange);
+  uint64_t Clamp(uint64_t window) const;
+
+  CongestionOptions opts_;
+  common::RttEstimator rtt_;
+  std::string label_;
+
+  uint64_t window_;
+  uint64_t ssthresh_;
+  /// Acks accumulated toward the next +1 in congestion avoidance.
+  uint64_t ack_credit_ = 0;
+
+  /// Spike detection: loss signals observed in the window starting at
+  /// spike_started_.
+  sim::SimTime spike_started_ = 0;
+  uint64_t spike_count_ = 0;
+  /// Rate limit: virtual time of the last applied decrease (< 0 = never).
+  sim::SimTime last_decrease_ = -1;
+
+  uint64_t min_window_seen_;
+  int64_t rtt_samples_ = 0;
+  int64_t increases_ = 0;
+  int64_t decreases_ = 0;
+  int64_t loss_events_ = 0;
+
+  int64_t registry_handle_ = 0;
+};
+
+}  // namespace blockplane::core
+
+#endif  // BLOCKPLANE_CORE_CONGESTION_H_

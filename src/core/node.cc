@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/trace.h"
 #include "core/comm_daemon.h"
+#include "core/congestion.h"
 #include "core/wire.h"
 
 namespace blockplane::core {
@@ -49,6 +50,33 @@ BlockplaneNode::BlockplaneNode(net::Network* network, crypto::KeyStore* keys,
   // One runner per deployment: the replica shares this node's seam so all
   // of a node's epilogues retire in one delivery order (DESIGN.md §12).
   group.runner = runner_;
+  if (options_.congestion.adaptive) {
+    // Adaptive proposal window (DESIGN.md §13): the replica consults the
+    // controller at admission time and feeds it propose-to-execute
+    // latencies; view changes back it off. The controller's "RTT" is an
+    // intra-site consensus round, so the prior is a few one-way hops.
+    uint64_t initial = options_.congestion.initial_window != 0
+                           ? options_.congestion.initial_window
+                           : std::max<uint64_t>(1, options_.pbft_window);
+    pbft_window_ctl_ = std::make_unique<WindowController>(
+        options_.congestion, initial,
+        4 * network_->options().intra_site_one_way,
+        "pbft_s" + std::to_string(self_.site) + "n" +
+            std::to_string(self_.index));
+    group.window_provider = [this] { return pbft_window_ctl_->window(); };
+    group.on_commit_latency = [this](sim::SimTime latency) {
+      // latency == 0: backup-executed instance — grow without an RTT
+      // sample (see PbftReplica::ExecuteReady).
+      if (latency > 0) {
+        pbft_window_ctl_->OnAck(latency);
+      } else {
+        pbft_window_ctl_->OnAckNoSample();
+      }
+    };
+    group.on_view_change = [this] {
+      pbft_window_ctl_->OnViewChange(sim_->Now());
+    };
+  }
   replica_ = std::make_unique<pbft::PbftReplica>(
       network_, keys_, std::move(group), self_,
       [this](uint64_t seq, const Bytes& value) { OnExecute(seq, value); });
@@ -188,11 +216,27 @@ void BlockplaneNode::RegisterVerifier(uint64_t routine_id,
 }
 
 void BlockplaneNode::SubmitLocalCommit(const LogRecord& record) {
+  SubmitRequest(record, next_req_id_++, /*broadcast=*/false);
+}
+
+void BlockplaneNode::SubmitRequest(const LogRecord& record, uint64_t req_id,
+                                   bool broadcast) {
   pbft::RequestMsg request;
   request.client_token = pbft::ClientToken(self_);
-  request.req_id = next_req_id_++;
+  request.req_id = req_id;
   request.value = record.Encode();
-  SendTo(replica_->leader(), pbft::kRequest, request.Encode());
+  Bytes encoded = request.Encode();
+  if (broadcast) {
+    // Escalation: the leader repeatedly failed to commit this record —
+    // give it to every replica so the backups forward it and arm their
+    // request watchdogs (a stale or censoring leader then loses a view
+    // change instead of wedging the stream forever).
+    for (const net::NodeId& peer : replica_->config().nodes) {
+      SendTo(peer, pbft::kRequest, Bytes(encoded));
+    }
+    return;
+  }
+  SendTo(replica_->leader(), pbft::kRequest, std::move(encoded));
 }
 
 void BlockplaneNode::StartCommDaemon(net::SiteId dest, bool reserve) {
@@ -465,6 +509,7 @@ void BlockplaneNode::ApplyValue(uint64_t seq, const Bytes& value) {
         }
         pending_acks_.erase(pending);
       }
+      recv_submits_.erase(key);
       // Notify the participant process (f_i+1 matching notices convince it).
       DeliverNoticeMsg notice;
       notice.src_site = record.src_site;
@@ -737,7 +782,14 @@ void BlockplaneNode::OnTransmissionDecoded(net::NodeId src,
     return;
   }
   pending_acks_[{tr.src_site, tr.src_log_pos}].insert(src);
-  SubmitLocalCommit(tr.ToReceivedRecord());
+  // Escalating re-submission (see RecvSubmit): leader-only at first; the
+  // sender's retransmissions drive later attempts, and persistent failure
+  // broadcasts to the unit so backup watchdogs can act.
+  RecvSubmit& sub = recv_submits_[{tr.src_site, tr.src_log_pos}];
+  if (sub.attempts == 0) sub.req_id = next_req_id_++;
+  ++sub.attempts;
+  SubmitRequest(tr.ToReceivedRecord(), sub.req_id,
+                /*broadcast=*/sub.attempts >= 3);
 }
 
 // --- attestation service ----------------------------------------------------------

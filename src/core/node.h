@@ -33,6 +33,7 @@
 namespace blockplane::core {
 
 class CommDaemon;
+class WindowController;
 
 /// The network address of a site's participant (user-space) process.
 net::NodeId ParticipantNodeId(net::SiteId site);
@@ -71,6 +72,10 @@ class BlockplaneNode : public net::Host {
   /// Submits a record for local commit with this node acting as the client
   /// (used by receive and geo-replication paths).
   void SubmitLocalCommit(const LogRecord& record);
+  /// SubmitLocalCommit with an explicit request id and optional broadcast
+  /// to every unit replica (escalation path for censored/stuck requests).
+  void SubmitRequest(const LogRecord& record, uint64_t req_id,
+                     bool broadcast);
 
   /// Starts the communication daemon for `dest` on this node. `reserve`
   /// daemons stay passive until they detect a delivery gap (§IV-C).
@@ -232,6 +237,10 @@ class BlockplaneNode : public net::Host {
   net::NodeId self_;
   net::SiteId origin_site_;
 
+  /// Adaptive PBFT proposal-window controller (DESIGN.md §13); non-null
+  /// only when options_.congestion.adaptive. Declared before replica_ so
+  /// it outlives the replica whose config hooks call into it.
+  std::unique_ptr<WindowController> pbft_window_ctl_;
   std::unique_ptr<pbft::PbftReplica> replica_;
   std::map<uint64_t, LogRecord> log_;
   std::unordered_map<uint64_t, VerifyRoutine> verifiers_;
@@ -297,6 +306,19 @@ class BlockplaneNode : public net::Host {
   /// Nodes awaiting an ack for a transmission: (src, src_pos) -> requesters.
   std::map<std::pair<net::SiteId, uint64_t>, std::set<net::NodeId>>
       pending_acks_;
+
+  /// Re-submission bookkeeping for received transmissions. The sender's
+  /// retransmissions re-enter OnTransmissionDecoded; each pass re-submits
+  /// the record, and after repeated attempts without a commit the request
+  /// escalates from the leader alone to the whole unit, so the backups'
+  /// request watchdogs can evict a leader whose lagging execution makes it
+  /// reject the (valid) chain pointer forever. The req_id is reused across
+  /// attempts so replicas dedup the watch instead of stacking watchdogs.
+  struct RecvSubmit {
+    uint64_t req_id = 0;
+    int attempts = 0;
+  };
+  std::map<std::pair<net::SiteId, uint64_t>, RecvSubmit> recv_submits_;
 
   /// Running digest chain over applied values — mirrors the PBFT replica's
   /// state digest, so synced log contents can be verified against a

@@ -10,6 +10,27 @@ class Runner;
 
 namespace blockplane::core {
 
+/// Adaptive per-destination window control (DESIGN.md §13). Off by
+/// default: no controllers are constructed and every window/retry knob in
+/// BlockplaneOptions behaves exactly as its static value, keeping the
+/// paper figures and golden traces bit-identical.
+struct CongestionOptions {
+  /// Master switch: AIMD WindowControllers replace the static
+  /// pbft/participant/daemon window knobs (which become initial values)
+  /// and retransmission timers derive from smoothed per-destination RTT.
+  bool adaptive = false;
+  /// Window clamp bounds for every controller.
+  uint64_t min_window = 1;
+  uint64_t max_window = 64;
+  /// Starting window; 0 inherits the static knob the controller replaces
+  /// (daemon_window / participant_window / pbft_window), which is what
+  /// keeps a lossless adaptive run on the static schedule.
+  uint64_t initial_window = 0;
+  /// Floor for RTT-derived retransmission timeouts: a too-optimistic
+  /// estimate must not cause a spurious-retransmission storm.
+  sim::SimTime min_rto = sim::Milliseconds(5);
+};
+
 struct BlockplaneOptions {
   /// Tolerated independent byzantine failures per unit (f_i). Each
   /// participant runs 3*fi + 1 Blockplane nodes.
@@ -57,6 +78,10 @@ struct BlockplaneOptions {
   /// Concurrently in-flight group-commit batches per Batcher. 1 preserves
   /// the paper's §VI-C group-commit rule.
   size_t batcher_in_flight = 1;
+
+  /// Adaptive per-destination congestion control over the three windows
+  /// above (DESIGN.md §13). congestion.adaptive defaults to false.
+  CongestionOptions congestion;
 
   /// Bench-mode switches mirroring the paper's prototype, which "does not
   /// implement creating and checking signatures and digests".

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "core/congestion.h"
 
 namespace blockplane::core {
 
@@ -45,6 +46,24 @@ Participant::Participant(net::Network* network, crypto::KeyStore* keys,
   unit_group_.client_retry = options_.local_client_retry;
   client_ = std::make_unique<pbft::PbftClient>(
       network_, unit_group_, net::NodeId{site, kClientIndexBase});
+  if (options_.congestion.adaptive && options_.fg > 0) {
+    // One controller per mirror destination (DESIGN.md §13): the geo-ack
+    // round trip toward each mirror feeds its RTT estimate; the effective
+    // pipeline window is the minimum across them.
+    const CongestionOptions& c = options_.congestion;
+    uint64_t initial =
+        c.initial_window != 0
+            ? c.initial_window
+            : std::max<uint64_t>(1, options_.participant_window);
+    for (net::SiteId target : mirror_sites_) {
+      sim::SimTime prior = network_->topology().Rtt(site_, target) +
+                           4 * network_->options().intra_site_one_way;
+      geo_ctl_[target] = std::make_unique<WindowController>(
+          c, initial, prior,
+          "geo_s" + std::to_string(site_) + "_to_s" +
+              std::to_string(target));
+    }
+  }
   network_->Register(self_, this);
 }
 
@@ -157,11 +176,23 @@ void Participant::PumpOps() {
       return;
     }
     uint64_t window = std::max<uint64_t>(1, options_.participant_window);
-    if (inflight_.size() >= window) return;
+    for (const auto& [target, ctl] : geo_ctl_) {
+      window = std::min(window, std::max<uint64_t>(1, ctl->window()));
+    }
+    if (inflight_.size() >= window) {
+      // Stall *episode*: opened once while admission stays blocked by the
+      // window, closed by any admission below (partial drains count).
+      if (!geo_window_stalled_) {
+        geo_window_stalled_ = true;
+        ++pipeline_stats().participant_window_stalls;
+      }
+      return;
+    }
 
     InflightOp rec;
     rec.op = std::move(ops_.front());
     ops_.pop_front();
+    geo_window_stalled_ = false;
     if (options_.fg > 0) {
       // Own-stream geo position: assigned at submission so up to `window`
       // rounds can proceed concurrently, each keyed by its position.
@@ -296,8 +327,39 @@ void Participant::ReplicateRound(uint64_t geo_pos) {
   if (it == geo_rounds_.end()) return;
   GeoRound& round = *it->second;
   sim_->Cancel(round.retry_timer);
+  sim::SimTime period = options_.geo_retry;
+  if (!geo_ctl_.empty() &&
+      static_cast<int>(round.source_sigs.size()) >= options_.fi + 1) {
+    // Wire fan-out retries follow the slowest unproven mirror's measured
+    // timeout (attestation collection is intra-site and keeps the static
+    // knob). Capped at geo_retry: adaptive only ever retries sooner.
+    sim::SimTime rto = 0;
+    for (net::SiteId target : round.targets) {
+      if (round.ack_sigs.count(target) > 0) continue;
+      auto ctl = geo_ctl_.find(target);
+      if (ctl == geo_ctl_.end()) continue;
+      rto = std::max(rto,
+                     ctl->second->RetryTimeout(options_.congestion.min_rto,
+                                               options_.geo_retry));
+    }
+    if (rto > 0) period = rto;
+  }
+  // Progress-deferred retry (adaptive wire phase only): while geo acks
+  // are flowing the mirrors are just working through their commit queues;
+  // re-entering the send path would mark the round retried for nothing.
+  if (!geo_ctl_.empty() && round.replicate_sent != 0 &&
+      static_cast<int>(round.source_sigs.size()) >= options_.fi + 1) {
+    sim::SimTime deadline =
+        std::max(round.last_sent, last_geo_progress_) + period;
+    if (sim_->Now() < deadline) {
+      round.retry_timer =
+          sim_->Schedule(deadline - sim_->Now(),
+                         [this, geo_pos]() { ReplicateRound(geo_pos); });
+      return;
+    }
+  }
   round.retry_timer = sim_->Schedule(
-      options_.geo_retry, [this, geo_pos]() { ReplicateRound(geo_pos); });
+      period, [this, geo_pos]() { ReplicateRound(geo_pos); });
 
   if (static_cast<int>(round.source_sigs.size()) < options_.fi + 1) {
     // Still collecting attestations: re-ask (covers lost responses).
@@ -316,6 +378,24 @@ void Participant::ReplicateRound(uint64_t geo_pos) {
       }
     }
     return;
+  }
+
+  round.last_sent = sim_->Now();
+  if (round.replicate_sent == 0) {
+    round.replicate_sent = sim_->Now();
+  } else {
+    // Timer-driven re-send: Karn's rule excludes this round's RTT. Only
+    // the oldest outstanding round reports loss — completion callbacks
+    // drain in submission order, so a stuck head makes trailing rounds
+    // linger even when their mirrors answered promptly.
+    round.retried = true;
+    if (geo_rounds_.begin()->first == geo_pos) {
+      for (net::SiteId target : round.targets) {
+        if (round.ack_sigs.count(target) > 0) continue;
+        auto ctl = geo_ctl_.find(target);
+        if (ctl != geo_ctl_.end()) ctl->second->OnLoss(sim_->Now());
+      }
+    }
   }
 
   GeoReplicateMsg replicate;
@@ -346,6 +426,7 @@ void Participant::OnGeoAck(const net::Message& msg) {
     return;
   }
   if (round.ack_sigs.count(target) > 0) return;  // site already proven
+  last_geo_progress_ = sim_->Now();
   if (options_.sign_messages) {
     Bytes canonical = AttestCanonical(AttestPurpose::kGeoAck, target,
                                       round.geo_pos, round.digest);
@@ -358,6 +439,14 @@ void Participant::OnGeoAck(const net::Message& msg) {
 
   // f_i+1 nodes of this mirror participant attested: the site holds it.
   round.ack_sigs[target] = round.ack_sigs_partial[target];
+  auto ctl = geo_ctl_.find(target);
+  if (ctl != geo_ctl_.end()) {
+    if (round.replicate_sent != 0 && !round.retried) {
+      ctl->second->OnAck(sim_->Now() - round.replicate_sent);
+    } else {
+      ctl->second->OnAckNoSample();
+    }
+  }
   int proven = static_cast<int>(round.ack_sigs.size());
   if (proven >= options_.fg) FinishGeoRound(round.geo_pos);
 }

@@ -25,6 +25,8 @@
 
 namespace blockplane::core {
 
+class WindowController;
+
 /// How a Local Log entry is read back (§VI-A).
 enum class ReadStrategy {
   /// Served by the closest node with the entry's validity proof.
@@ -108,6 +110,14 @@ class Participant : public net::Host {
     bool is_communication = false;
     CommitCallback done;
     sim::EventId retry_timer = sim::kInvalidEventId;
+    /// Time the replicate fan-out first hit the wire (0 = not yet); the
+    /// geo-ack round trip is sampled from it under Karn's rule.
+    sim::SimTime replicate_sent = 0;
+    /// Time of the most recent fan-out (adaptive timer deadline base).
+    sim::SimTime last_sent = 0;
+    /// The replicate fan-out was retried at least once: Karn's rule
+    /// excludes this round from RTT sampling.
+    bool retried = false;
     /// Causal trace of the API operation driving this round (0 = untraced)
     /// plus the phase timestamps the "attest" / "geo_mirror" spans cover.
     TraceId trace = kNoTrace;
@@ -183,6 +193,20 @@ class Participant : public net::Host {
   std::deque<InflightOp> inflight_;
   /// A MirrorCommit reconciliation/commit is active; it runs exclusively.
   bool mirror_op_active_ = false;
+  /// Adaptive geo-round windows, one per mirror site (DESIGN.md §13);
+  /// empty unless options.congestion.adaptive and fg > 0. The effective
+  /// window is the minimum across mirrors: a geo round only completes when
+  /// fg sites prove it, so the slowest mirror gates the pipeline.
+  std::map<net::SiteId, std::unique_ptr<WindowController>> geo_ctl_;
+  /// Open window-stall episode flag (pipeline.participant_window_stalls
+  /// counts episodes, closed by any admission — not pump invocations).
+  bool geo_window_stalled_ = false;
+  /// Last time any geo ack arrived (adaptive mode): flowing acks prove
+  /// the mirror paths are alive, so adaptive retries defer to
+  /// max(round.last_sent, last_geo_progress_) + RTO — mirror-side commit
+  /// queueing would otherwise trigger spurious re-sends that Karn-freeze
+  /// the RTT estimators.
+  sim::SimTime last_geo_progress_ = 0;
   /// Highest geo position whose round completed (own stream).
   uint64_t geo_seq_ = 0;
   /// Highest geo position assigned to a submitted op (own stream); rounds

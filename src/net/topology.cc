@@ -4,18 +4,52 @@
 
 namespace blockplane::net {
 
+StatusOr<Topology> Topology::Create(std::vector<std::string> site_names,
+                                    std::vector<std::vector<double>> rtt_ms) {
+  const size_t n = site_names.size();
+  if (n == 0) {
+    return Status::InvalidArgument("topology needs at least one site");
+  }
+  if (rtt_ms.size() != n) {
+    return Status::InvalidArgument(
+        "RTT matrix has " + std::to_string(rtt_ms.size()) + " rows for " +
+        std::to_string(n) + " sites");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (rtt_ms[i].size() != n) {
+      return Status::InvalidArgument(
+          "RTT matrix row " + std::to_string(i) + " has " +
+          std::to_string(rtt_ms[i].size()) + " entries for " +
+          std::to_string(n) + " sites");
+    }
+    for (size_t j = 0; j < n; ++j) {
+      if (rtt_ms[i][j] < 0.0) {
+        return Status::InvalidArgument(
+            "negative RTT between " + site_names[i] + " and " +
+            site_names[j]);
+      }
+      if (rtt_ms[i][j] != rtt_ms[j][i]) {
+        return Status::InvalidArgument(
+            "asymmetric RTT between " + site_names[i] + " and " +
+            site_names[j]);
+      }
+      if (i == j && rtt_ms[i][j] != 0.0) {
+        return Status::InvalidArgument("nonzero self-RTT for " +
+                                       site_names[i]);
+      }
+    }
+  }
+  return Topology(std::move(site_names), std::move(rtt_ms));
+}
+
 Topology::Topology(std::vector<std::string> site_names,
                    std::vector<std::vector<double>> rtt_ms)
     : names_(std::move(site_names)) {
   const size_t n = names_.size();
-  BP_CHECK(rtt_ms.size() == n);
   rtt_.resize(n);
   for (size_t i = 0; i < n; ++i) {
-    BP_CHECK(rtt_ms[i].size() == n);
     rtt_[i].resize(n);
     for (size_t j = 0; j < n; ++j) {
-      BP_CHECK(rtt_ms[i][j] == rtt_ms[j][i]);
-      if (i == j) BP_CHECK(rtt_ms[i][j] == 0.0);
       rtt_[i][j] = sim::MillisecondsD(rtt_ms[i][j]);
     }
   }
@@ -23,17 +57,22 @@ Topology::Topology(std::vector<std::string> site_names,
 
 Topology Topology::Aws4() {
   // Table I of the paper: average RTTs in ms between C, O, V, I.
-  return Topology({"California", "Oregon", "Virginia", "Ireland"},
-                  {
-                      {0, 19, 61, 130},   // C
-                      {19, 0, 79, 132},   // O
-                      {61, 79, 0, 70},    // V
-                      {130, 132, 70, 0},  // I
-                  });
+  StatusOr<Topology> t =
+      Topology::Create({"California", "Oregon", "Virginia", "Ireland"},
+                       {
+                           {0, 19, 61, 130},   // C
+                           {19, 0, 79, 132},   // O
+                           {61, 79, 0, 70},    // V
+                           {130, 132, 70, 0},  // I
+                       });
+  BP_CHECK(t.ok());  // compiled-in matrix; failure is a programming error
+  return std::move(t).value();
 }
 
 Topology Topology::SingleSite(const std::string& name) {
-  return Topology({name}, {{0}});
+  StatusOr<Topology> t = Topology::Create({name}, {{0}});
+  BP_CHECK(t.ok());
+  return std::move(t).value();
 }
 
 Topology Topology::Uniform(int num_sites, double rtt_ms) {
@@ -44,7 +83,9 @@ Topology Topology::Uniform(int num_sites, double rtt_ms) {
     names.push_back("site" + std::to_string(i));
     rtt[i][i] = 0.0;
   }
-  return Topology(std::move(names), std::move(rtt));
+  StatusOr<Topology> t = Topology::Create(std::move(names), std::move(rtt));
+  BP_CHECK(t.ok());
+  return std::move(t).value();
 }
 
 StatusOr<Topology> Topology::Parse(const std::string& spec) {
@@ -115,7 +156,7 @@ StatusOr<Topology> Topology::Parse(const std::string& spec) {
       }
     }
   }
-  return Topology(std::move(names), std::move(rtt));
+  return Topology::Create(std::move(names), std::move(rtt));
 }
 
 sim::SimTime Topology::Rtt(int a, int b) const {

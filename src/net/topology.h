@@ -16,9 +16,15 @@ namespace blockplane::net {
 class Topology {
  public:
   /// Builds a topology from a symmetric RTT matrix in milliseconds.
-  /// rtt_ms[i][j] must equal rtt_ms[j][i] and rtt_ms[i][i] must be 0.
-  Topology(std::vector<std::string> site_names,
-           std::vector<std::vector<double>> rtt_ms);
+  /// rtt_ms must be square and match site_names, rtt_ms[i][j] must equal
+  /// rtt_ms[j][i] >= 0, and rtt_ms[i][i] must be 0. Violations return
+  /// InvalidArgument — operator-supplied matrices (config files, CLI
+  /// flags) must not be able to abort a daemon. (An earlier revision
+  /// validated with BP_CHECK in the constructor, which crashed the
+  /// process on asymmetric/negative input while Parse() returned a
+  /// Status for the same mistakes.)
+  static StatusOr<Topology> Create(std::vector<std::string> site_names,
+                                   std::vector<std::vector<double>> rtt_ms);
 
   /// The paper's Table I: C, O, V, I with RTTs 19–132 ms.
   /// Site order (and thus SiteId values): C=0, O=1, V=2, I=3.
@@ -53,6 +59,10 @@ class Topology {
   sim::SimTime RttToKthClosest(int from, int k) const;
 
  private:
+  /// Trusts its input: all validation lives in Create().
+  Topology(std::vector<std::string> site_names,
+           std::vector<std::vector<double>> rtt_ms);
+
   std::vector<std::string> names_;
   std::vector<std::vector<sim::SimTime>> rtt_;
 };

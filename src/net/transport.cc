@@ -60,15 +60,41 @@ ReliableTransport::~ReliableTransport() {
   network_->Unregister(self_);
 }
 
+bool ReliableTransport::has_rtt_estimate(NodeId dst) const {
+  auto it = rtt_.find(dst);
+  return it != rtt_.end() && it->second.has_sample();
+}
+
+sim::SimTime ReliableTransport::srtt(NodeId dst) const {
+  auto it = rtt_.find(dst);
+  return it == rtt_.end() ? 0 : it->second.srtt();
+}
+
 sim::SimTime ReliableTransport::RtoFor(NodeId dst, int retries) const {
-  sim::SimTime rtt = dst.site == self_.site
-                         ? 2 * network_->options().intra_site_one_way
-                         : network_->topology().Rtt(self_.site, dst.site);
-  double factor = 1.0;
-  for (int i = 0; i < retries; ++i) factor *= options_.backoff;
-  sim::SimTime rto = options_.base_rto + rtt;
-  rto = static_cast<sim::SimTime>(static_cast<double>(rto) * factor);
-  return std::min(rto, options_.max_rto);
+  // Peer term: the smoothed measured round trip once acks have been
+  // sampled. The topology constant is only the pre-sample prior — the
+  // wire RTT says nothing about the peer's processing/queueing delay,
+  // which the measured estimate includes.
+  sim::SimTime rtt;
+  auto est = rtt_.find(dst);
+  if (est != rtt_.end() && est->second.has_sample()) {
+    rtt = est->second.Rto(options_.base_rto) - options_.base_rto;
+  } else {
+    rtt = dst.site == self_.site
+              ? 2 * network_->options().intra_site_one_way
+              : network_->topology().Rtt(self_.site, dst.site);
+  }
+  // Apply the backoff multiplier with the max_rto clamp inside the loop:
+  // the effective timeout is bounded, not just the pre-backoff base. (The
+  // old order scaled first and clamped after, so backoff^retries could
+  // overflow the int64 cast before min() ever saw the value.)
+  double scaled = static_cast<double>(options_.base_rto + rtt);
+  double ceiling = static_cast<double>(options_.max_rto);
+  for (int i = 0; i < retries && scaled < ceiling; ++i) {
+    scaled *= options_.backoff;
+  }
+  if (scaled >= ceiling) return options_.max_rto;
+  return std::min(static_cast<sim::SimTime>(scaled), options_.max_rto);
 }
 
 void ReliableTransport::Send(NodeId dst, MessageType type, Bytes&& payload,
@@ -78,6 +104,7 @@ void ReliableTransport::Send(NodeId dst, MessageType type, Bytes&& payload,
   Pending pending;
   pending.app_type = type;
   pending.trace_id = trace_id;
+  pending.first_sent = network_->simulator()->Now();
   // The rvalue signature spares the deep copy the old by-value parameter
   // made at this API boundary; the frame encoder below is the only copy.
   transport_stats().bytes_copied_saved +=
@@ -250,6 +277,13 @@ void ReliableTransport::HandleAckFrame(const Message& raw) {
   if (peer_it == send_state_.end()) return;
   auto it = peer_it->second.in_flight.find(seq);
   if (it == peer_it->second.in_flight.end()) return;
+  if (it->second.retries == 0) {
+    // Clean round trip: feed the per-peer estimator (Karn's rule — a
+    // retransmitted frame's ack is ambiguous and is never sampled).
+    rtt_[raw.src].AddSample(network_->simulator()->Now() -
+                            it->second.first_sent);
+    ++transport_stats().rtt_samples;
+  }
   network_->simulator()->Cancel(it->second.timer);
   peer_it->second.in_flight.erase(it);
 }

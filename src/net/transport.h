@@ -20,6 +20,7 @@
 #include <unordered_map>
 
 #include "common/codec.h"
+#include "common/rtt_estimator.h"
 #include "net/network.h"
 
 namespace blockplane::net {
@@ -70,6 +71,17 @@ class ReliableTransport : public Host {
   /// Frames given up on after max_retries (each fired on_drop).
   int64_t frames_abandoned() const { return frames_abandoned_; }
 
+  /// True once at least one clean (never-retransmitted) ack round trip to
+  /// `dst` has been measured; srtt(dst) is meaningful only then.
+  bool has_rtt_estimate(NodeId dst) const;
+  /// Smoothed measured RTT to `dst` (0 before the first sample).
+  sim::SimTime srtt(NodeId dst) const;
+  /// Effective retransmission timeout for the given retry count: the
+  /// smoothed measured peer RTT (topology RTT until the first sample) plus
+  /// base_rto, scaled by backoff^retries, clamped to max_rto. The clamp
+  /// bounds the *scaled* value — public so tests can pin that property.
+  sim::SimTime RtoFor(NodeId dst, int retries) const;
+
  private:
   struct Pending {
     /// Encoded data frame, shared with every (re)transmission in flight:
@@ -82,6 +94,10 @@ class ReliableTransport : public Host {
     MessageType app_type = 0;
     /// Causal trace of the payload (0 = untraced).
     uint64_t trace_id = 0;
+    /// First-transmission time: the RTT sample for a clean (retries == 0)
+    /// ack is ack time minus this. Karn's rule: retransmitted frames are
+    /// never sampled, their ack cannot be matched to an attempt.
+    sim::SimTime first_sent = 0;
   };
   struct BufferedFrame {
     MessageType app_type = 0;
@@ -103,7 +119,6 @@ class ReliableTransport : public Host {
   void ArmTimer(NodeId dst, uint64_t seq);
   void HandleDataFrame(const Message& raw);
   void HandleAckFrame(const Message& raw);
-  sim::SimTime RtoFor(NodeId dst, int retries) const;
 
   Network* network_;
   NodeId self_;
@@ -113,6 +128,8 @@ class ReliableTransport : public Host {
 
   std::unordered_map<NodeId, PeerSend, NodeIdHash> send_state_;
   std::unordered_map<NodeId, PeerRecv, NodeIdHash> recv_state_;
+  /// Smoothed per-peer RTT from clean ack round trips; drives RtoFor.
+  std::unordered_map<NodeId, common::RttEstimator, NodeIdHash> rtt_;
   int64_t retransmissions_ = 0;
   int64_t discarded_corrupt_ = 0;
   int64_t frames_abandoned_ = 0;

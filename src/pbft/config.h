@@ -6,6 +6,7 @@
 #ifndef BLOCKPLANE_PBFT_CONFIG_H_
 #define BLOCKPLANE_PBFT_CONFIG_H_
 
+#include <functional>
 #include <vector>
 
 #include "common/macros.h"
@@ -50,6 +51,21 @@ struct PbftConfig {
   /// committed"); larger values pipeline consensus instances while execution
   /// and replies stay strictly in sequence order (DESIGN.md §9).
   uint64_t window = 1;
+
+  /// Adaptive proposal-window hooks (DESIGN.md §13), installed by the
+  /// layer above (core::BlockplaneNode) when adaptive congestion control
+  /// is on. PBFT stays independent of core: it only consumes these
+  /// callbacks. All default-null, which means the static `window` knob
+  /// governs — bit-identical to the seed behavior.
+  ///
+  /// Effective proposal window consulted at admission time; the replica
+  /// clamps the returned value to >= 1. Null = use `window`.
+  std::function<uint64_t()> window_provider;
+  /// Propose-to-execute latency of each instance this leader proposed in
+  /// the current view (the controller's clean "RTT" sample).
+  std::function<void(sim::SimTime)> on_commit_latency;
+  /// Fired when this replica initiates a view change (churn signal).
+  std::function<void()> on_view_change;
 
   /// When false, payload digests use a fast non-cryptographic hash. The
   /// paper's prototype skipped digest creation/checking entirely; benches

@@ -261,12 +261,20 @@ void PbftReplica::ArmRequestWatchdog(
   });
 }
 
+uint64_t PbftReplica::EffectiveWindow() const {
+  if (config_.window_provider) {
+    uint64_t window = config_.window_provider();
+    return window < 1 ? 1 : window;
+  }
+  return config_.window;
+}
+
 uint64_t PbftReplica::HighWatermark() const {
   // Keep the un-truncated log bounded: never run more than two checkpoint
   // intervals (or two windows, whichever is larger) past the last stable
   // checkpoint. At window 1 this is never the binding constraint.
   uint64_t span = std::max<uint64_t>(2 * config_.checkpoint_interval,
-                                     2 * config_.window);
+                                     2 * EffectiveWindow());
   return last_stable_ + span;
 }
 
@@ -316,10 +324,19 @@ void PbftReplica::MaybeProposeNext() {
     // Sliding window: at most `window` proposed-but-unexecuted instances,
     // and never beyond the high watermark (checkpoint lag bound).
     uint64_t outstanding = (next_seq_ - 1) - last_executed_;
-    if (outstanding >= config_.window || next_seq_ > HighWatermark()) {
-      pipeline_stats().pbft_window_stalls++;
+    if (outstanding >= EffectiveWindow() || next_seq_ > HighWatermark()) {
+      // Count stall *episodes*, not pump invocations: this path re-enters
+      // on every request arrival and execution while the same stall
+      // persists, and ticking the counter each time made it meaningless
+      // as a back-pressure signal. The episode closes below as soon as
+      // any proposal is admitted (partial drain included).
+      if (!window_stalled_) {
+        window_stalled_ = true;
+        pipeline_stats().pbft_window_stalls++;
+      }
       return;
     }
+    window_stalled_ = false;
     PendingRequest pending = std::move(pending_requests_.front());
     RequestMsg& request = pending.request;
     pending_requests_.pop_front();
@@ -334,6 +351,8 @@ void PbftReplica::MaybeProposeNext() {
     Propose(request.client_token, request.req_id, std::move(request.value),
             pending.trace_id, pending.enqueued);
   }
+  // Queue drained: whatever stall was open is over (the window has room).
+  window_stalled_ = false;
 }
 
 void PbftReplica::Propose(uint64_t client_token, uint64_t req_id,
@@ -633,6 +652,19 @@ void PbftReplica::ExecuteReady() {
                    self_.site, self_.index, seq);
       }
       SendReply(instance, seq);
+      if (config_.on_commit_latency) {
+        // Every executed instance grows the adaptive proposal window on
+        // every replica — a backup that never grew would hand its next
+        // leadership term a stale, collapsed window. Only the leader of
+        // the proposing view reports a propose-to-execute latency sample
+        // (an instance inherited across a view change mixes two leaders'
+        // clocks — the congestion controller's Karn rule); backups report
+        // 0, meaning "count the ack, skip the sample".
+        bool clean = IsLeader() && instance.view == view_ &&
+                     instance.ts_started > 0;
+        config_.on_commit_latency(
+            clean ? sim_->Now() - instance.ts_started : 0);
+      }
     }
 
     auto wit =
@@ -1084,6 +1116,12 @@ void PbftReplica::EnterView(uint64_t v, const std::vector<ViewChangeMsg>& vcs) {
   target_view_ = v;
   in_view_change_ = false;
   viewchange_attempts_ = 0;
+  // Churn signal for the adaptive proposal window (DESIGN.md §13): a
+  // *completed* view change re-proposes the in-flight tail, so a deep
+  // window amplifies the disruption — back off before resuming. Spurious
+  // backup escalations that never gather a quorum are not churn; firing on
+  // attempts would let 1% message loss collapse the window for nothing.
+  if (config_.on_view_change) config_.on_view_change();
   sim_->Cancel(view_change_timer_);
   view_change_timer_ = sim::kInvalidEventId;
   view_changes_.erase(view_changes_.begin(),

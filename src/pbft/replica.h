@@ -205,6 +205,9 @@ class PbftReplica : public net::Host {
 
   // -- leader logic --
   void MaybeProposeNext();
+  /// The proposal window in force right now: the adaptive provider when
+  /// installed (clamped to >= 1), else the static config window.
+  uint64_t EffectiveWindow() const;
   void Propose(uint64_t client_token, uint64_t req_id, Bytes value,
                uint64_t trace_id, sim::SimTime enqueued);
   /// Highest sequence number a leader may assign: the low watermark
@@ -304,6 +307,11 @@ class PbftReplica : public net::Host {
   bool reorder_stashed_ = false;
 
   uint64_t next_seq_ = 1;  // leader: next sequence number to assign
+  /// True while the current window-stall episode is open: the leader had
+  /// queued requests it could not propose. pbft_window_stalls counts
+  /// episode openings, not pump invocations; any successful proposal
+  /// (partial drain included) closes the episode.
+  bool window_stalled_ = false;
   std::deque<PendingRequest> pending_requests_;
   /// Requests already assigned a sequence number (leader-side dedup).
   std::set<std::pair<uint64_t, uint64_t>> assigned_requests_;

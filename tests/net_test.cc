@@ -85,6 +85,40 @@ TEST(TopologyTest, ParsedTopologyDrivesTheNetwork) {
   EXPECT_EQ(parsed->SitesByProximity(0), std::vector<int>{1});
 }
 
+// The programmatic factory validates the matrix instead of CHECK-failing:
+// a malformed topology from config/flags surfaces as InvalidArgument the
+// caller can report, not a process abort.
+TEST(TopologyTest, CreateValidatesTheRttMatrix) {
+  EXPECT_TRUE(Topology::Create({}, {}).status().IsInvalidArgument())
+      << "zero sites";
+  EXPECT_TRUE(Topology::Create({"A", "B"}, {{0, 1}})
+                  .status()
+                  .IsInvalidArgument())
+      << "row count must match the site count";
+  EXPECT_TRUE(Topology::Create({"A", "B"}, {{0, 1}, {1}})
+                  .status()
+                  .IsInvalidArgument())
+      << "ragged row";
+  EXPECT_TRUE(Topology::Create({"A", "B"}, {{0, -5}, {-5, 0}})
+                  .status()
+                  .IsInvalidArgument())
+      << "negative RTT";
+  EXPECT_TRUE(Topology::Create({"A", "B"}, {{0, 10}, {20, 0}})
+                  .status()
+                  .IsInvalidArgument())
+      << "asymmetric RTT";
+  EXPECT_TRUE(Topology::Create({"A", "B"}, {{3, 10}, {10, 0}})
+                  .status()
+                  .IsInvalidArgument())
+      << "nonzero self-RTT";
+
+  auto ok = Topology::Create({"A", "B"}, {{0, 10}, {10, 0}});
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok.value().num_sites(), 2);
+  EXPECT_EQ(ok.value().Rtt(0, 1), Milliseconds(10));
+  EXPECT_EQ(ok.value().site_name(0), "A");
+}
+
 TEST(TopologyTest, UniformAndSingleSite) {
   Topology uniform = Topology::Uniform(5, 10.0);
   EXPECT_EQ(uniform.num_sites(), 5);

@@ -242,5 +242,67 @@ TEST(PipelineTest, MirrorStreamStaysContiguousUnderWindow) {
   }
 }
 
+// --- stall-episode accounting ---------------------------------------------
+//
+// pipeline.*_window_stalls counts distinct back-pressure *episodes*: the
+// counter ticks when admission transitions from flowing to blocked-by-the-
+// window and the episode closes on any admission (partial drains count).
+// The old per-invocation counting ticked on every poll/pump re-entry while
+// one stall persisted, which made the metric scale with event traffic
+// instead of back pressure.
+
+TEST(PipelineTest, PbftStallCounterCountsEpisodesNotPumpInvocations) {
+  pipeline_stats().Reset();
+  WindowedPbftHarness harness(/*f=*/1, /*window=*/1);
+  constexpr int kCount = 12;
+  ASSERT_TRUE(harness.SubmitBurst(kCount));
+  harness.simulator_.RunFor(Seconds(1));
+  // Window 1, burst of 12: one episode opens when request 2 queues behind
+  // the full window, and each execution admits exactly one request
+  // (closing the episode) before the still-backlogged queue reopens it —
+  // kCount - 1 episodes total. Per-invocation counting also ticked for
+  // every queued arrival and every commit-message pump while the same
+  // stall persisted, far exceeding the burst size.
+  EXPECT_EQ(pipeline_stats().pbft_window_stalls,
+            static_cast<int64_t>(kCount - 1));
+}
+
+TEST(PipelineTest, WideWindowNeverStalls) {
+  pipeline_stats().Reset();
+  WindowedPbftHarness harness(/*f=*/1, /*window=*/16);
+  ASSERT_TRUE(harness.SubmitBurst(12));
+  harness.simulator_.RunFor(Seconds(1));
+  // The whole burst fits in the window: no admission was ever blocked, so
+  // no episode may be counted no matter how often the pump re-entered.
+  EXPECT_EQ(pipeline_stats().pbft_window_stalls, 0);
+}
+
+TEST(PipelineTest, ParticipantStallEpisodesCloseOnPartialDrain) {
+  pipeline_stats().Reset();
+  sim::Simulator simulator(17);
+  core::BlockplaneOptions options;
+  options.fg = 1;
+  options.pbft_window = 8;
+  options.participant_window = 2;
+  core::Deployment deployment(&simulator, Topology::Aws4(), options);
+
+  core::Participant* participant = deployment.participant(kCalifornia);
+  constexpr int kCount = 10;
+  int done = 0;
+  for (int i = 0; i < kCount; ++i) {
+    participant->LogCommit(ToBytes("s" + std::to_string(i)), 0,
+                           [&](uint64_t) { ++done; });
+  }
+  ASSERT_TRUE(simulator.RunUntilCondition([&] { return done >= kCount; },
+                                          Seconds(600)));
+  simulator.RunFor(Seconds(1));
+  // Window 2: the episode opened when op 3 queued closes as soon as one
+  // geo round completes and frees a slot (a partial drain — the queue is
+  // still deep), then reopens while backlog remains: kCount - window
+  // episodes, not one tick per pump.
+  EXPECT_EQ(pipeline_stats().participant_window_stalls,
+            static_cast<int64_t>(kCount - 2));
+}
+
 }  // namespace
 }  // namespace blockplane

@@ -18,9 +18,10 @@ namespace {
 using sim::Seconds;
 
 struct Endpoint {
-  Endpoint(Network* network, NodeId id) {
+  Endpoint(Network* network, NodeId id, TransportOptions options = {}) {
     transport = std::make_unique<ReliableTransport>(
-        network, id, [this](const Message& m) { received.push_back(m); });
+        network, id, [this](const Message& m) { received.push_back(m); },
+        options);
   }
   std::unique_ptr<ReliableTransport> transport;
   std::vector<Message> received;
@@ -172,6 +173,93 @@ TEST_F(TransportTest, StressManyMessagesLossyBothWays) {
   for (int i = 0; i < kCount; ++i) {
     EXPECT_EQ(ToString(b_->received[i].body()), std::to_string(i));
   }
+}
+
+// --- RTO regression tests (DESIGN.md §13) ---------------------------------
+//
+// The 132 ms Oregon–Ireland link is the long pole of the Table-I topology
+// and the link the original clamp bug broke on: max_rto must bound the
+// *effective* timeout — after the peer-RTT addend and the backoff
+// multiplier — not just the pre-backoff base.
+
+TEST_F(TransportTest, MaxRtoClampsEffectiveTimeoutNotBase) {
+  TransportOptions options;
+  options.max_rto = sim::Milliseconds(100);
+  auto oregon = std::make_unique<Endpoint>(network_.get(), NodeId{kOregon, 0},
+                                           options);
+  // Pre-sample peer term is the 132 ms topology RTT, so base_rto + rtt =
+  // 142 ms already exceeds max_rto with ZERO retries: the clamp must bite
+  // before any backoff is applied.
+  EXPECT_EQ(oregon->transport->RtoFor({kIreland, 0}, 0),
+            sim::Milliseconds(100));
+}
+
+TEST_F(TransportTest, BackoffNeverOverflowsPastMaxRto) {
+  auto oregon =
+      std::make_unique<Endpoint>(network_.get(), NodeId{kOregon, 0});
+  NodeId ireland{kIreland, 0};
+  // backoff^retries overflows int64 well before retries = 64; the old
+  // scale-then-clamp order handed min() an already-wrapped negative value.
+  sim::SimTime prev = 0;
+  for (int retries = 0; retries <= 64; ++retries) {
+    sim::SimTime rto = oregon->transport->RtoFor(ireland, retries);
+    EXPECT_GT(rto, 0) << "retries=" << retries;
+    EXPECT_LE(rto, TransportOptions{}.max_rto) << "retries=" << retries;
+    EXPECT_GE(rto, prev) << "RTO must be monotone in retries";
+    prev = rto;
+  }
+  EXPECT_EQ(oregon->transport->RtoFor(ireland, 64), TransportOptions{}.max_rto);
+}
+
+TEST_F(TransportTest, MeasuredRttReplacesTopologyPrior) {
+  auto oregon =
+      std::make_unique<Endpoint>(network_.get(), NodeId{kOregon, 0});
+  auto ireland =
+      std::make_unique<Endpoint>(network_.get(), NodeId{kIreland, 0});
+  NodeId dst{kIreland, 0};
+  EXPECT_FALSE(oregon->transport->has_rtt_estimate(dst));
+  // Pre-sample: the timer falls back to the topology constant.
+  EXPECT_EQ(oregon->transport->RtoFor(dst, 0),
+            TransportOptions{}.base_rto + sim::Milliseconds(132));
+
+  for (int i = 0; i < 10; ++i) {
+    oregon->transport->Send(dst, 1, ToBytes("ping" + std::to_string(i)));
+  }
+  simulator_.Run();
+  ASSERT_EQ(ireland->received.size(), 10u);
+  ASSERT_TRUE(oregon->transport->has_rtt_estimate(dst));
+  // Clean network, zero per-message cpu: the smoothed estimate converges
+  // on the 132 ms wire RTT.
+  EXPECT_GE(oregon->transport->srtt(dst), sim::Milliseconds(132));
+  EXPECT_LE(oregon->transport->srtt(dst), sim::Milliseconds(140));
+  // And the timer now derives from the measurement (srtt + variance
+  // term), still bounded by max_rto.
+  sim::SimTime rto = oregon->transport->RtoFor(dst, 0);
+  EXPECT_GT(rto, oregon->transport->srtt(dst));
+  EXPECT_LE(rto, TransportOptions{}.max_rto);
+}
+
+TEST_F(TransportTest, LossyLongLinkStillDeliversInOrder) {
+  // Regression for the timer sweep: retransmissions on the 132 ms link
+  // with smoothed-RTT timers must still mask drops, in order, and the
+  // virtual-time cost must stay bounded (no livelock from a too-short or
+  // overflowed timer).
+  auto oregon =
+      std::make_unique<Endpoint>(network_.get(), NodeId{kOregon, 0});
+  auto ireland =
+      std::make_unique<Endpoint>(network_.get(), NodeId{kIreland, 0});
+  network_->set_drop_prob(0.3);
+  constexpr int kCount = 40;
+  for (int i = 0; i < kCount; ++i) {
+    oregon->transport->Send({kIreland, 0}, 1, ToBytes(std::to_string(i)));
+  }
+  simulator_.Run();
+  ASSERT_EQ(ireland->received.size(), static_cast<size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(ToString(ireland->received[i].body()), std::to_string(i));
+  }
+  EXPECT_GT(oregon->transport->retransmissions(), 0);
+  EXPECT_LT(simulator_.Now(), Seconds(60));
 }
 
 }  // namespace
