@@ -1,7 +1,8 @@
 // Fixture: BP003 clean — every field appears in Encode, Decode, and
-// the canonical/digest path; signature fields are digest-exempt (a
-// signature cannot cover itself), and a payload whose integrity rides
-// on an embedded digest documents that with a suppression.
+// the canonical/digest path; authentication material (Signature and
+// QuorumCert fields) is digest-exempt (an attestation cannot cover
+// itself), and a payload whose integrity rides on an embedded digest
+// documents that with a suppression.
 // bplint:wire-coverage
 struct Encoder {
   void PutU64(unsigned long long v);
@@ -15,6 +16,9 @@ using Bytes = int;
 struct Signature {
   int bytes = 0;
 };
+struct QuorumCert {
+  int bits = 0;
+};
 
 struct SampleMsg {
   unsigned long long view = 0;
@@ -22,6 +26,7 @@ struct SampleMsg {
   Bytes digest = 0;
   Bytes value = 0;  // bplint:allow(BP003) integrity bound via digest field
   Signature sig;    // signatures never cover themselves
+  QuorumCert cert;  // aggregated attestation: equally digest-exempt
 
   Bytes Encode() const;
   static bool Decode(const Bytes& buf, SampleMsg* out);
@@ -35,6 +40,7 @@ Bytes SampleMsg::Encode() const {
   enc.PutBytes(digest);
   enc.PutBytes(value);
   enc.PutU64(static_cast<unsigned long long>(sig.bytes));
+  enc.PutU64(static_cast<unsigned long long>(cert.bits));
   return 0;
 }
 
@@ -44,7 +50,8 @@ bool SampleMsg::Decode(const Bytes& buf, SampleMsg* out) {
   if (!dec.GetU64(&out->seq)) return false;
   if (!dec.GetBytes(&out->digest)) return false;
   if (!dec.GetBytes(&out->value)) return false;
-  return dec.GetBytes(&out->sig.bytes);
+  if (!dec.GetBytes(&out->sig.bytes)) return false;
+  return dec.GetBytes(&out->cert.bits);
 }
 
 Bytes SampleMsg::CanonicalBody() const {

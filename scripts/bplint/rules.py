@@ -12,7 +12,9 @@ Rule catalog (see DESIGN.md section 11 for the rationale):
          (all randomness must flow from the seeded simulator RNG).
   BP003  wire-struct field coverage: every field of a struct in a
          `bplint:wire-coverage` header must appear in its Encode,
-         Decode, and digest path (signature fields are digest-exempt).
+         Decode, and digest path (authentication material — Signature
+         and QuorumCert fields — is digest-exempt: it attests the
+         canonical bytes, so it cannot also be covered by them).
   BP004  message-type dispatch exhaustiveness: switches over
          *MessageType enums must be exhaustive or carry a default, and
          every enumerator must be dispatched somewhere in the project.
@@ -256,7 +258,11 @@ def rule_bp003(project: Project) -> Iterable[Diagnostic]:
                         f.path, fld.line, "BP003",
                         f"field '{fld.name}' of {struct.name} is missing "
                         f"from its Decode path")
+                # Authentication material is digest-exempt: signatures and
+                # quorum certs attest the canonical bytes, so neither can be
+                # covered by the digest they vouch for.
                 if digest_bodies and "Signature" not in fld.type_str and \
+                        "QuorumCert" not in fld.type_str and \
                         fld.name not in digest_ids:
                     yield Diagnostic(
                         f.path, fld.line, "BP003",

@@ -22,6 +22,11 @@
 #       Every bench pass MUST refresh its repo-root BENCH_*.json copy —
 #       a bench that ran without updating the versioned results fails
 #       the gate (refresh_bench below).
+#   3c. Quorum-cert ablation smoke: bench_fig6_communication --qc runs
+#       the same send workload with real crypto, QC-off vs QC-on, and
+#       fails unless QC-on performs at most half the individual MAC
+#       verifications and ships strictly fewer WAN proof bytes (the
+#       DESIGN.md §14 aggregation gate). Writes BENCH_qc.json.
 #   4a. Static analysis: clang-tidy (.clang-tidy at the repo root; the
 #       gate set is bugprone-* + performance-*) over src/ using the
 #       compile database — skipped with a notice when clang-tidy is not
@@ -150,6 +155,18 @@ if command -v python3 >/dev/null 2>&1; then
 fi
 refresh_bench BENCH_parallel.json
 echo "parallel-runtime smoke OK (BENCH_parallel.json)"
+
+echo "=== pass 3c: quorum-cert ablation smoke (QC gate, DESIGN.md §14) ==="
+# QC-on must perform at most half the individual MAC verifications of
+# QC-off and ship strictly fewer WAN proof bytes; the bench exits non-zero
+# otherwise.
+build/bench/bench_fig6_communication --qc --out=build/BENCH_qc.json
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json,sys; json.load(open('build/BENCH_qc.json'))" \
+    || { echo "BENCH_qc.json is not valid JSON"; exit 1; }
+fi
+refresh_bench BENCH_qc.json
+echo "qc ablation smoke OK (BENCH_qc.json)"
 
 if [[ "$FAST" == "1" ]]; then
   run_bplint

@@ -38,6 +38,11 @@ CongestionStats& congestion_stats() {
   return stats;
 }
 
+QcStats& qc_stats() {
+  static QcStats stats;
+  return stats;
+}
+
 // --- MetricsRegistry ---------------------------------------------------------
 
 MetricsRegistry::MetricsRegistry() {
@@ -133,6 +138,20 @@ MetricsRegistry::MetricsRegistry() {
         };
       },
       []() { congestion_stats().Reset(); });
+  Register(
+      "qc",
+      []() {
+        const QcStats& s = qc_stats();
+        return std::map<std::string, int64_t>{
+            {"certs_built", s.certs_built},
+            {"certs_verified", s.certs_verified},
+            {"cache_hits", s.cache_hits},
+            {"verifies_elided", s.verifies_elided},
+            {"proof_sig_verifies", s.proof_sig_verifies},
+            {"wan_proof_bytes", s.wan_proof_bytes},
+        };
+      },
+      []() { qc_stats().Reset(); });
 }
 
 int64_t MetricsRegistry::Register(std::string name, SnapshotFn snapshot,

@@ -246,6 +246,37 @@ struct RunnerStats {
 /// The process-wide runner counter block.
 RunnerStats& runner_stats();
 
+/// Process-wide counters for quorum-certificate aggregation (DESIGN.md §14).
+/// Observability-only, like the other stat blocks — nothing reads them to
+/// make protocol decisions. Updated only from retire/serial threads (BP007):
+/// worker-thread cert checks go through VerifyCertDetached, which touches
+/// nothing here, and their accounting lands at ordered epilogue retirement.
+struct QcStats {
+  /// Certificates assembled from completed f_i+1 signature sets.
+  int64_t certs_built = 0;
+  /// Certificates that ran the full MAC-recompute verification (cold path —
+  /// the cache had no entry, or caching was disabled).
+  int64_t certs_verified = 0;
+  /// Cert-cache probes that answered a verification outright.
+  int64_t cache_hits = 0;
+  /// Individual MAC verifications skipped thanks to cert-cache hits (each
+  /// hit elides the certificate's full signer count).
+  int64_t verifies_elided = 0;
+  /// Individual MAC verifications actually performed while checking proofs:
+  /// per matching signature in VerifyProof, per listed signer in a cold
+  /// cert verification. The QC-on / QC-off ratio of this counter is the
+  /// bench ablation's headline number.
+  int64_t proof_sig_verifies = 0;
+  /// Wire bytes of proof material (signature vectors or certificates)
+  /// shipped across the WAN by comm daemons, counted once per receiver.
+  int64_t wan_proof_bytes = 0;
+
+  void Reset() { *this = QcStats{}; }
+};
+
+/// The process-wide quorum-certificate counter block.
+QcStats& qc_stats();
+
 /// Named counters, useful for asserting message complexity in tests
 /// (e.g. "wide-area messages sent").
 class CounterSet {

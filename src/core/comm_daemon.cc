@@ -84,8 +84,11 @@ void CommDaemon::PumpPipeline() {
     const LogRecord& record = host_->log_.at(pos);
 
     // With geo-correlated tolerance, transmissions must carry the mirror
-    // proofs; wait until the participant bundles them (§V).
+    // proofs; wait until the participant bundles them (§V). Under
+    // qc.enabled the bundle carries compact certs instead (possibly with
+    // an empty signature vector) — both ride the flight as-is.
     std::vector<crypto::Signature> geo_proof;
+    std::vector<crypto::QuorumCert> geo_certs;
     if (host_->options_.fg > 0) {
       auto proof_it = host_->geo_proofs_.find(pos);
       if (proof_it == host_->geo_proofs_.end()) {
@@ -93,6 +96,10 @@ void CommDaemon::PumpPipeline() {
         break;                  // keep order
       }
       geo_proof = proof_it->second;
+      auto cert_it = host_->geo_proof_certs_.find(pos);
+      if (cert_it != host_->geo_proof_certs_.end()) {
+        geo_certs = cert_it->second;
+      }
     }
 
     Flight& flight = flights_[pos];
@@ -105,6 +112,7 @@ void CommDaemon::PumpPipeline() {
     flight.record.payload = record.payload;
     flight.record.geo_pos = record.geo_pos;
     flight.record.geo_proof = std::move(geo_proof);
+    flight.record.geo_certs = std::move(geo_certs);
     next_send_pos_ = pos;
 
     crypto::Digest digest = flight.record.ContentDigest();
@@ -139,6 +147,7 @@ void CommDaemon::PumpPipeline() {
     if (static_cast<int>(flight.record.sigs.size()) >=
         host_->options_.fi + 1) {
       flight.sigs_complete = true;
+      FinalizeProof(&flight);
       if (window_ctl_) {
         TransmitReady();  // in-order shipping (see TransmitReady)
       } else {
@@ -193,6 +202,21 @@ void CommDaemon::OnAttestResponseDecoded(net::NodeId src,
       });
 }
 
+void CommDaemon::FinalizeProof(Flight* flight) {
+  if (!host_->options_.qc.enabled || !host_->options_.sign_messages) return;
+  // Compress the completed f_i+1 signature set into one compact cert
+  // (DESIGN.md §14). The constituent MACs were either produced by this
+  // node's own signer or verified on arrival (ApplyAttestation's verify
+  // prologue), so the aggregation is over trusted material. The vector is
+  // dropped: every Transmit of this flight — including widened
+  // retransmissions — now ships 48 proof bytes instead of 40*(f_i+1).
+  TransmissionRecord& record = flight->record;
+  record.sig_certs = {
+      crypto::BuildQuorumCert(record.src_site, record.sigs)};
+  record.sigs.clear();
+  qc_stats().certs_built++;
+}
+
 void CommDaemon::ApplyAttestation(uint64_t pos, const crypto::Signature& sig) {
   auto it = flights_.find(pos);
   if (it == flights_.end() || it->second.sigs_complete) return;
@@ -205,6 +229,7 @@ void CommDaemon::ApplyAttestation(uint64_t pos, const crypto::Signature& sig) {
     return;
   }
   flight.sigs_complete = true;
+  FinalizeProof(&flight);
   if (window_ctl_) {
     // In-order shipping: this flight may have been blocking later
     // sigs-complete flights, and it may itself be blocked behind an
@@ -257,6 +282,21 @@ void CommDaemon::Transmit(Flight& flight, bool widen) {
   // unit in case some of the first picks are faulty.
   int receivers = widen ? 3 * host_->options_.fi + 1 : host_->options_.fi + 1;
   Bytes encoded = flight.record.Encode();
+  // Proof-byte accounting for the QC ablation (serial thread — the encode
+  // batch helpers never run this): the exact wire bytes the proof material
+  // (signature vectors or certs) contributes, once per receiver.
+  {
+    Encoder proof_enc;
+    crypto::EncodeProof(&proof_enc, flight.record.sigs);
+    crypto::EncodeProof(&proof_enc, flight.record.geo_proof);
+    if (!flight.record.sig_certs.empty() ||
+        !flight.record.geo_certs.empty()) {
+      crypto::EncodeCertList(&proof_enc, flight.record.sig_certs);
+      crypto::EncodeCertList(&proof_enc, flight.record.geo_certs);
+    }
+    qc_stats().wan_proof_bytes +=
+        static_cast<int64_t>(receivers * proof_enc.buffer().size());
+  }
   for (int i = 0; i < receivers; ++i) {
     host_->SendTo(net::NodeId{dest_, i}, kTransmission, Bytes(encoded));
   }

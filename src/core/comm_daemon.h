@@ -79,6 +79,11 @@ class CommDaemon {
   };
 
   void PumpPipeline();
+  /// Called once when a flight's f_i+1 signature set completes. With
+  /// qc.enabled, compresses the signature vector (and any geo proof) into
+  /// compact quorum certs (DESIGN.md §14) so every subsequent Transmit —
+  /// including widened retransmissions — ships certs instead of vectors.
+  void FinalizeProof(Flight* flight);
   /// Ordered epilogue of a verified attestation: re-finds the flight (it
   /// may have completed or been acked away while the verify was in
   /// flight), dedups signers, and transmits on the f_i+1-th signature.

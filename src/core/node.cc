@@ -369,13 +369,24 @@ bool BlockplaneNode::VerifyReceivedAt(const LogRecord& record,
   if (record.dest_site != origin_site_) return false;
   if (record.src_site == origin_site_ || record.src_site < 0) return false;
 
-  // (1) f_i+1 signatures from the source participant's unit.
+  // (1) f_i+1 signatures from the source participant's unit. With quorum
+  // certificates (wire v2, DESIGN.md §14) the record carries one compact
+  // cert instead of the signature vector; repeats of the same cert hit the
+  // KeyStore's cert cache and elide the per-MAC re-verification entirely.
   if (options_.sign_messages) {
     Bytes canonical =
         AttestCanonical(AttestPurpose::kTransmission, record.src_site,
                         record.src_log_pos, record.ContentDigest());
-    if (!keys_->VerifyProof(canonical, record.proof, record.src_site,
-                            options_.fi + 1)) {
+    if (!record.proof_certs.empty()) {
+      bool ok = false;
+      for (const crypto::QuorumCert& cert : record.proof_certs) {
+        if (cert.site != record.src_site) continue;
+        ok = keys_->VerifyCert(canonical, cert, options_.fi + 1);
+        break;
+      }
+      if (!ok) return false;
+    } else if (!keys_->VerifyProof(canonical, record.proof, record.src_site,
+                                   options_.fi + 1)) {
       return false;
     }
   }
@@ -397,13 +408,26 @@ bool BlockplaneNode::VerifyReceivedAt(const LogRecord& record,
     crypto::Digest geo_digest = crypto::Sha256Digest(original.Encode());
 
     std::set<net::SiteId> proven;
-    for (int site = 0; site < network_->topology().num_sites(); ++site) {
-      if (site == record.src_site) continue;
-      Bytes canonical = AttestCanonical(AttestPurpose::kGeoAck, site,
-                                        record.geo_pos, geo_digest);
-      if (keys_->VerifyProof(canonical, record.geo_proof, site,
-                             options_.fi + 1)) {
-        proven.insert(site);
+    if (!record.geo_certs.empty()) {
+      // Wire v2: one cert per proving mirror site.
+      for (const crypto::QuorumCert& cert : record.geo_certs) {
+        if (cert.site == record.src_site || cert.site < 0) continue;
+        if (cert.site >= network_->topology().num_sites()) continue;
+        Bytes canonical = AttestCanonical(AttestPurpose::kGeoAck, cert.site,
+                                          record.geo_pos, geo_digest);
+        if (keys_->VerifyCert(canonical, cert, options_.fi + 1)) {
+          proven.insert(cert.site);
+        }
+      }
+    } else {
+      for (int site = 0; site < network_->topology().num_sites(); ++site) {
+        if (site == record.src_site) continue;
+        Bytes canonical = AttestCanonical(AttestPurpose::kGeoAck, site,
+                                          record.geo_pos, geo_digest);
+        if (keys_->VerifyProof(canonical, record.geo_proof, site,
+                               options_.fi + 1)) {
+          proven.insert(site);
+        }
       }
     }
     if (static_cast<int>(proven.size()) < options_.fg) return false;
@@ -435,7 +459,16 @@ bool BlockplaneNode::VerifyMirroredProof(const LogRecord& record) const {
     }
     return false;
   }
-  // Remote acting site: f_i+1 of its nodes must attest the record.
+  // Remote acting site: f_i+1 of its nodes must attest the record. With
+  // quorum certificates the attestations arrive as one compact cert, so
+  // backfill replays and buffered re-verification hit the cert cache.
+  if (!record.proof_certs.empty()) {
+    for (const crypto::QuorumCert& cert : record.proof_certs) {
+      if (cert.site != record.src_site) continue;
+      return keys_->VerifyCert(canonical, cert, options_.fi + 1);
+    }
+    return false;
+  }
   return keys_->VerifyProof(canonical, record.proof, record.src_site,
                             options_.fi + 1);
 }
@@ -744,8 +777,33 @@ common::Runner::Prologue BlockplaneNode::PrologueTransmission(
     auto tr = std::make_shared<TransmissionRecord>();
     if (!TransmissionRecord::Decode(msg.body(), tr.get()).ok()) return nullptr;
     if (is_mirror() || tr->dest_site != origin_site_) return nullptr;
+    // Capture-at-submit cert verification (DESIGN.md §12): when the record
+    // carries a quorum cert, recompute its MACs here on the worker —
+    // keys_/options_ are fixed at construction, so this stage stays pure —
+    // and hand the verdict to the ordered epilogue, which seeds the cert
+    // cache so admission-time VerifyCert calls hit instead of re-verifying.
+    // A failed cert is NOT seeded: admission re-runs the full check and
+    // rejects, exactly as the serial path would.
+    std::shared_ptr<Bytes> cert_msg;
+    crypto::QuorumCert cert_checked;
+    if (options_.sign_messages && !tr->sig_certs.empty()) {
+      Bytes canonical =
+          AttestCanonical(AttestPurpose::kTransmission, tr->src_site,
+                          tr->src_log_pos, tr->ContentDigest());
+      for (const crypto::QuorumCert& cert : tr->sig_certs) {
+        if (cert.site != tr->src_site) continue;
+        if (keys_->VerifyCertDetached(canonical, cert, options_.fi + 1)) {
+          cert_msg = std::make_shared<Bytes>(std::move(canonical));
+          cert_checked = cert;
+        }
+        break;
+      }
+    }
     net::NodeId src = msg.src;
-    return [this, src, tr] { OnTransmissionDecoded(src, std::move(*tr)); };
+    return [this, src, tr, cert_msg, cert_checked] {
+      if (cert_msg != nullptr) keys_->SeedCertCache(*cert_msg, cert_checked);
+      OnTransmissionDecoded(src, std::move(*tr));
+    };
   };
 }
 
@@ -908,6 +966,7 @@ void BlockplaneNode::OnGeoReplicate(const net::Message& msg) {
   record.src_site = replicate.acting_site;
   record.geo_pos = replicate.geo_pos;
   record.proof = std::move(replicate.sigs);
+  record.proof_certs = std::move(replicate.sig_certs);
 
   if (replicate.geo_pos > mirror_high_pos_ + 1) {
     // The geo stream moved past this mirror (e.g. the hosting site sat out
@@ -1002,6 +1061,7 @@ void BlockplaneNode::OnGeoProofBundle(const net::Message& msg) {
   GeoProofBundleMsg bundle;
   if (!GeoProofBundleMsg::Decode(msg.body(), &bundle).ok()) return;
   geo_proofs_[bundle.pos] = std::move(bundle.proof);
+  geo_proof_certs_[bundle.pos] = std::move(bundle.proof_certs);
   for (auto& daemon : daemons_) daemon->NotifyLogAppend();
 }
 

@@ -31,6 +31,17 @@ struct CongestionOptions {
   sim::SimTime min_rto = sim::Milliseconds(5);
 };
 
+/// Quorum-certificate aggregation (DESIGN.md §14). Off by default: records
+/// carry plain f_i+1 signature vectors and every hop runs VerifyProof, so
+/// fig4–fig8, golden traces, and same-seed JSON exports stay bit-identical.
+struct QuorumCertOptions {
+  /// Master switch: completed proofs are compressed into one compact
+  /// crypto::QuorumCert per (decision, site), carried on the wire in place
+  /// of the signature vector, and verified once per receiver through the
+  /// KeyStore's digest-keyed cert cache.
+  bool enabled = false;
+};
+
 struct BlockplaneOptions {
   /// Tolerated independent byzantine failures per unit (f_i). Each
   /// participant runs 3*fi + 1 Blockplane nodes.
@@ -82,6 +93,10 @@ struct BlockplaneOptions {
   /// Adaptive per-destination congestion control over the three windows
   /// above (DESIGN.md §13). congestion.adaptive defaults to false.
   CongestionOptions congestion;
+
+  /// Quorum-certificate aggregation (DESIGN.md §14). qc.enabled defaults
+  /// to false.
+  QuorumCertOptions qc;
 
   /// Bench-mode switches mirroring the paper's prototype, which "does not
   /// implement creating and checking signatures and digests".

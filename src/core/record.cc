@@ -15,6 +15,26 @@ Status GetSite(Decoder* dec, net::SiteId* site) {
   return Status::OK();
 }
 
+/// Trailing optional cert section (wire v2, DESIGN.md §14): emitted only
+/// when at least one list is non-empty, so qc-off encodings are
+/// byte-identical to v1. Decoders detect presence via AtEnd().
+void PutCertSection(Encoder* enc, const std::vector<crypto::QuorumCert>& a,
+                    const std::vector<crypto::QuorumCert>& b) {
+  if (a.empty() && b.empty()) return;
+  crypto::EncodeCertList(enc, a);
+  crypto::EncodeCertList(enc, b);
+}
+
+Status GetCertSection(Decoder* dec, std::vector<crypto::QuorumCert>* a,
+                      std::vector<crypto::QuorumCert>* b) {
+  a->clear();
+  b->clear();
+  if (dec->AtEnd()) return Status::OK();
+  BP_RETURN_NOT_OK(crypto::DecodeCertList(dec, a));
+  BP_RETURN_NOT_OK(crypto::DecodeCertList(dec, b));
+  return Status::OK();
+}
+
 }  // namespace
 
 Bytes LogRecord::Encode() const {
@@ -29,6 +49,7 @@ Bytes LogRecord::Encode() const {
   enc.PutU64(geo_pos);
   crypto::EncodeProof(&enc, proof);
   crypto::EncodeProof(&enc, geo_proof);
+  PutCertSection(&enc, proof_certs, geo_certs);
   return enc.Take();
 }
 
@@ -47,6 +68,7 @@ Status LogRecord::Decode(const Bytes& buf, LogRecord* out) {
   BP_RETURN_NOT_OK(dec.GetU64(&out->geo_pos));
   BP_RETURN_NOT_OK(crypto::DecodeProof(&dec, &out->proof));
   BP_RETURN_NOT_OK(crypto::DecodeProof(&dec, &out->geo_proof));
+  BP_RETURN_NOT_OK(GetCertSection(&dec, &out->proof_certs, &out->geo_certs));
   return Status::OK();
 }
 
@@ -90,6 +112,7 @@ Bytes TransmissionRecord::Encode() const {
   enc.PutU64(geo_pos);
   crypto::EncodeProof(&enc, sigs);
   crypto::EncodeProof(&enc, geo_proof);
+  PutCertSection(&enc, sig_certs, geo_certs);
   return enc.Take();
 }
 
@@ -104,6 +127,7 @@ Status TransmissionRecord::Decode(const Bytes& buf, TransmissionRecord* out) {
   BP_RETURN_NOT_OK(dec.GetU64(&out->geo_pos));
   BP_RETURN_NOT_OK(crypto::DecodeProof(&dec, &out->sigs));
   BP_RETURN_NOT_OK(crypto::DecodeProof(&dec, &out->geo_proof));
+  BP_RETURN_NOT_OK(GetCertSection(&dec, &out->sig_certs, &out->geo_certs));
   return Status::OK();
 }
 
@@ -119,6 +143,8 @@ LogRecord TransmissionRecord::ToReceivedRecord() const {
   record.geo_pos = geo_pos;
   record.proof = sigs;
   record.geo_proof = geo_proof;
+  record.proof_certs = sig_certs;
+  record.geo_certs = geo_certs;
   return record;
 }
 

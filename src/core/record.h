@@ -14,6 +14,7 @@
 
 #include "common/codec.h"
 #include "common/status.h"
+#include "crypto/quorum_cert.h"
 #include "crypto/sha256.h"
 #include "crypto/signer.h"
 #include "net/message.h"
@@ -84,6 +85,12 @@ struct LogRecord {
   /// API records only; 0 when fg == 0). For kMirrored records this is the
   /// mirror-log position.
   uint64_t geo_pos = 0;
+  /// Wire v2 (qc.enabled): compact certificates standing in for `proof` /
+  /// `geo_proof`. Encoded as a trailing optional section, emitted only when
+  /// non-empty — v1 (qc off) encodings stay byte-identical, and a v1
+  /// decoder's trailing bytes are simply these sections.
+  std::vector<crypto::QuorumCert> proof_certs;
+  std::vector<crypto::QuorumCert> geo_certs;
 
   Bytes Encode() const;
   static Status Decode(const Bytes& buf, LogRecord* out);
@@ -118,6 +125,10 @@ struct TransmissionRecord {
   uint64_t geo_pos = 0;  // geo-replication stream position (fg > 0)
   std::vector<crypto::Signature> sigs;       // f_i+1 from the source unit
   std::vector<crypto::Signature> geo_proof;  // fg extension (§V)
+  /// Wire v2 (qc.enabled): certificates standing in for `sigs`/`geo_proof`
+  /// — trailing optional section, absent when both are empty.
+  std::vector<crypto::QuorumCert> sig_certs;
+  std::vector<crypto::QuorumCert> geo_certs;
 
   /// The digest the source unit's attestations cover.
   crypto::Digest ContentDigest() const;

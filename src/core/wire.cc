@@ -116,6 +116,9 @@ Bytes GeoReplicateMsg::Encode() const {
   enc.PutU64(geo_pos);
   enc.PutBytes(record);
   crypto::EncodeProof(&enc, sigs);
+  // Trailing optional cert section (wire v2): absent when empty, so
+  // qc-off encodings stay byte-identical to v1.
+  if (!sig_certs.empty()) crypto::EncodeCertList(&enc, sig_certs);
   return enc.Take();
 }
 
@@ -126,7 +129,12 @@ Status GeoReplicateMsg::Decode(const Bytes& buf, GeoReplicateMsg* out) {
   out->acting_site = static_cast<net::SiteId>(site);
   BP_RETURN_NOT_OK(dec.GetU64(&out->geo_pos));
   BP_RETURN_NOT_OK(dec.GetBytes(&out->record));
-  return crypto::DecodeProof(&dec, &out->sigs);
+  BP_RETURN_NOT_OK(crypto::DecodeProof(&dec, &out->sigs));
+  out->sig_certs.clear();
+  if (!dec.AtEnd()) {
+    BP_RETURN_NOT_OK(crypto::DecodeCertList(&dec, &out->sig_certs));
+  }
+  return Status::OK();
 }
 
 Bytes GeoAckMsg::Encode() const {
@@ -245,13 +253,20 @@ Bytes GeoProofBundleMsg::Encode() const {
   Encoder enc;
   enc.PutU64(pos);
   crypto::EncodeProof(&enc, proof);
+  // Trailing optional cert section (wire v2), as in GeoReplicateMsg.
+  if (!proof_certs.empty()) crypto::EncodeCertList(&enc, proof_certs);
   return enc.Take();
 }
 
 Status GeoProofBundleMsg::Decode(const Bytes& buf, GeoProofBundleMsg* out) {
   Decoder dec(buf);
   BP_RETURN_NOT_OK(dec.GetU64(&out->pos));
-  return crypto::DecodeProof(&dec, &out->proof);
+  BP_RETURN_NOT_OK(crypto::DecodeProof(&dec, &out->proof));
+  out->proof_certs.clear();
+  if (!dec.AtEnd()) {
+    BP_RETURN_NOT_OK(crypto::DecodeCertList(&dec, &out->proof_certs));
+  }
+  return Status::OK();
 }
 
 namespace {

@@ -75,6 +75,9 @@ struct GeoReplicateMsg {
   /// f_i+1 attestations from the acting site (empty when the mirror group
   /// is hosted at the acting site itself).
   std::vector<crypto::Signature> sigs;
+  /// Wire v2 (qc.enabled): certificates standing in for `sigs` — trailing
+  /// optional section, absent when empty.
+  std::vector<crypto::QuorumCert> sig_certs;
 
   Bytes Encode() const;
   static Status Decode(const Bytes& buf, GeoReplicateMsg* out);
@@ -158,6 +161,9 @@ struct LogSyncReplyMsg {
 struct GeoProofBundleMsg {
   uint64_t pos = 0;  // unit log position of the communication record
   std::vector<crypto::Signature> proof;
+  /// Wire v2 (qc.enabled): one certificate per mirror site standing in for
+  /// `proof` — trailing optional section, absent when empty.
+  std::vector<crypto::QuorumCert> proof_certs;
 
   Bytes Encode() const;
   static Status Decode(const Bytes& buf, GeoProofBundleMsg* out);

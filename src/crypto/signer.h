@@ -39,6 +39,7 @@ struct Signature {
 };
 
 class Signer;
+struct QuorumCert;  // crypto/quorum_cert.h
 
 /// One entry of a KeyStore::VerifyBatch call: `msg` + `sig` are inputs,
 /// `ok` is the output verdict.
@@ -99,12 +100,37 @@ class KeyStore {
                    common::Runner* runner) const;
 
   /// Verifies a proof: at least `threshold` valid signatures over `msg` from
-  /// *distinct* nodes of site `site`. Extra or invalid signatures are
-  /// ignored (a malicious sender may pad the list).
+  /// *distinct* nodes of site `site`. Invalid signatures and other sites'
+  /// entries are ignored (a malicious sender may pad the list), but a
+  /// duplicated signer index *within* `site` rejects the whole proof: an
+  /// honest unit never emits one (every collection path dedups by signer),
+  /// so a duplicate is a forgery attempt at counting one signature twice.
   bool VerifyProof(const Bytes& msg, const std::vector<Signature>& proof,
                    net::SiteId site, int threshold) const;
 
-  /// Bounds the verify-once cache (total entries across both generations).
+  /// Verifies a quorum certificate (crypto/quorum_cert.h, DESIGN.md §14):
+  /// at least `threshold` signers in the bitmap, every listed MAC
+  /// recomputed from registered key material, aggregate compared. Consults
+  /// the digest-keyed two-generation cert cache first, so retransmissions,
+  /// go-back-N trailing flights, backfill replays, and re-submissions cost
+  /// one probe instead of f_i+1 signature checks. Retire-thread only (it
+  /// touches the cache and the qc.* counters).
+  bool VerifyCert(const Bytes& msg, const QuorumCert& cert,
+                  int threshold) const;
+
+  /// Worker-thread-safe cert verification: no cache, no counters — the
+  /// Runner-prologue entry point, mirroring VerifyDetached. Callers seed
+  /// the cache at ordered epilogue retirement via SeedCertCache.
+  bool VerifyCertDetached(const Bytes& msg, const QuorumCert& cert,
+                          int threshold) const;
+
+  /// Records a cert that a prologue already verified detached: inserts it
+  /// into the cert cache and lands the accounting the serial VerifyCert
+  /// miss path would have produced. Retire-thread only.
+  void SeedCertCache(const Bytes& msg, const QuorumCert& cert) const;
+
+  /// Bounds the verify-once caches (total entries across both generations,
+  /// applied to the signature cache and the cert cache independently).
   /// 0 disables caching; the default keeps roughly one WAN round's worth of
   /// certificates for a 4-site deployment.
   void set_verify_cache_capacity(size_t capacity) {
@@ -112,6 +138,8 @@ class KeyStore {
     if (capacity == 0) {
       verified_cur_.clear();
       verified_prev_.clear();
+      cert_cur_.clear();
+      cert_prev_.clear();
     }
   }
   size_t verify_cache_capacity() const { return verify_cache_capacity_; }
@@ -147,13 +175,40 @@ class KeyStore {
   std::unordered_map<net::NodeId, KeyEntry, net::NodeIdHash> keys_;
   uint64_t next_key_seed_ = 0x517cc1b727220a95ULL;
 
-  /// Two-generation bounded cache: inserts go to `cur`; when `cur` fills to
-  /// half the capacity, it becomes `prev` and a fresh `cur` starts. Lookups
-  /// consult both, so entries survive between half-capacity and capacity
-  /// insertions — O(1) amortized, strictly bounded memory.
+  /// One verified (site, bitmap, aggregate, message) certificate — the
+  /// cert cache key covers every byte a forgery could vary.
+  struct VerifiedCert {
+    net::SiteId site;
+    int32_t index_base;
+    uint64_t signer_bits;
+    Digest agg;
+    Bytes msg;
+
+    friend bool operator==(const VerifiedCert& a, const VerifiedCert& b) {
+      return a.site == b.site && a.index_base == b.index_base &&
+             a.signer_bits == b.signer_bits && a.agg == b.agg &&
+             a.msg == b.msg;
+    }
+  };
+  struct VerifiedCertHash {
+    size_t operator()(const VerifiedCert& v) const;
+  };
+  using CertSet = std::unordered_set<VerifiedCert, VerifiedCertHash>;
+
+  bool CertCacheLookup(const VerifiedCert& entry) const;
+  void CertCacheInsert(VerifiedCert entry) const;
+
+  /// Two-generation bounded caches: inserts go to `cur`; when `cur` fills
+  /// to half the capacity, it becomes `prev` and a fresh `cur` starts.
+  /// Lookups consult both, so entries survive between half-capacity and
+  /// capacity insertions — O(1) amortized, strictly bounded memory. The
+  /// signature cache keys (signer, mac, msg) triples (PR 1); the cert
+  /// cache keys whole certificates (DESIGN.md §14).
   size_t verify_cache_capacity_ = 8192;
   mutable VerifiedSet verified_cur_;
   mutable VerifiedSet verified_prev_;
+  mutable CertSet cert_cur_;
+  mutable CertSet cert_prev_;
 };
 
 /// A node's private signing capability. Only the KeyStore can mint these.

@@ -40,6 +40,12 @@ void Network::Send(Message msg) {
   counters_.Increment(local ? "lan_messages" : "wan_messages");
   counters_.Increment(local ? "lan_bytes" : "wan_bytes",
                       static_cast<int64_t>(msg.wire_bytes));
+  if (!local && options_.per_type_wan_counters) {
+    // Bench-only breakdown: the network is protocol-agnostic, so the key
+    // carries the numeric type tag; benches map tags back to names.
+    counters_.Increment("wan_bytes.type_" + std::to_string(msg.type),
+                        static_cast<int64_t>(msg.wire_bytes));
+  }
 
   // A crashed sender emits nothing; a crashed destination hears nothing.
   if (IsCrashed(msg.src) || IsCrashed(msg.dst)) {

@@ -55,6 +55,12 @@ struct NetworkOptions {
   double jitter_frac = 0.02;
   /// Bytes of protocol/transport headers modeled on top of each payload.
   uint64_t header_bytes = 64;
+  /// Per-message-type WAN byte accounting: adds a `wan_bytes.type_<id>`
+  /// counter per protocol MessageType tag seen on wide-area sends. Off by
+  /// default — it is bench-only instrumentation (bench_fig6's
+  /// per-message-type breakdown), and keeping it off leaves the counter
+  /// namespace byte-identical to the seed.
+  bool per_type_wan_counters = false;
   /// Unreliable-channel knobs (exercised through ReliableTransport).
   double drop_prob = 0.0;
   double corrupt_prob = 0.0;

@@ -290,6 +290,65 @@ TEST(ByzantineEndToEndTest, ForgedTransmissionRejectedAfterCachesArePrimed) {
   hotpath_stats().Reset();
 }
 
+TEST(ByzantineEndToEndTest, ForgedCertCannotVouchForNewContent) {
+  // The quorum-cert analogue of the primed-cache forgery (DESIGN.md §14):
+  // with qc.enabled, transmissions carry one compact certificate instead
+  // of f_i+1 signatures, and the KeyStore memoizes *successfully verified*
+  // (cert, message) pairs. A byzantine daemon that replays a genuine
+  // certificate under different content must take — and fail — the full
+  // aggregate recomputation: the cache key binds the canonical bytes, so
+  // no cached entry can vouch for bytes it never certified.
+  sim::Simulator simulator(47);
+  BlockplaneOptions options;
+  options.qc.enabled = true;
+  Deployment deployment(&simulator, Topology::Aws4(), options);
+  protocols::BankLedger bank(&deployment);
+
+  qc_stats().Reset();
+  bool funded = false;
+  bank.Deposit(kCalifornia, "alice", 100, [&](Status) { funded = true; });
+  ASSERT_TRUE(
+      simulator.RunUntilCondition([&] { return funded; }, Seconds(30)));
+  bank.Wire(kCalifornia, "alice", kIreland, "seamus", 40, nullptr);
+  ASSERT_TRUE(simulator.RunUntilCondition(
+      [&] { return bank.Balance(kIreland, "seamus") == 40; }, Seconds(120)));
+  // The wire rode the cert path and the cert cache is demonstrably hot.
+  ASSERT_GT(qc_stats().certs_built, 0);
+  ASSERT_GT(qc_stats().cache_hits, 0);
+
+  // Forge the "next" transmission: correct chain pointers, the genuine
+  // (cached-as-valid) certificate — but content its signers never saw.
+  const auto& log = deployment.node(kIreland, 0)->log();
+  const LogRecord* wire = nullptr;
+  for (const auto& [pos, record] : log) {
+    if (record.type == RecordType::kReceived) wire = &record;
+  }
+  ASSERT_NE(wire, nullptr);
+  ASSERT_FALSE(wire->proof_certs.empty());
+  TransmissionRecord forged;
+  forged.src_site = kCalifornia;
+  forged.dest_site = kIreland;
+  forged.src_log_pos = wire->src_log_pos + 1;
+  forged.prev_src_log_pos = wire->src_log_pos;
+  forged.routine_id = wire->routine_id;
+  forged.payload = ToBytes("forged credit of 1000 coins");
+  forged.sig_certs = wire->proof_certs;  // genuine cert over other bytes
+  for (int i = 0; i < 4; ++i) {
+    net::Message msg;
+    msg.src = {kCalifornia, 3};
+    msg.dst = {kIreland, i};
+    msg.type = kTransmission;
+    msg.set_body(forged.Encode());
+    deployment.network()->Send(msg);
+  }
+  simulator.RunFor(Seconds(5));
+  EXPECT_EQ(bank.Balance(kIreland, "seamus"), 40);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(bank.NodeBalance(kIreland, i, "seamus"), 40);
+  }
+  qc_stats().Reset();
+}
+
 TEST(ByzantineEndToEndTest, QuorumReadSurvivesALyingReplica) {
   // §VI-A: read-1 trusts the answering node; the 2f+1-identical-responses
   // strategy "overcomes the scenario where a malicious node returns"

@@ -208,5 +208,28 @@ TEST(ChaosEngineTest, OneCampaignPerTemplateHoldsInvariants) {
   }
 }
 
+// Quorum-cert aggregation (DESIGN.md §14) swaps the wire's signature
+// vectors for compact certs — safety invariants I1–I4 and liveness must
+// hold under every fault template with the optimization on, and the
+// campaigns must actually exercise the cert path (certs built, repeat
+// verifications elided through the cache).
+TEST(ChaosEngineTest, QuorumCertsHoldInvariantsUnderEveryTemplate) {
+  for (ScheduleTemplate t : kAllTemplates) {
+    CampaignConfig config;
+    config.seed = 7;
+    config.schedule = t;
+    config.quorum_certs = true;
+    Campaign campaign = CompileCampaign(config);
+    qc_stats().Reset();
+    ChaosReport report = RunCampaign(campaign);
+    EXPECT_TRUE(report.ok) << ScheduleTemplateName(t) << "\n"
+                           << report.ToString() << "\n"
+                           << campaign.ToJson();
+    EXPECT_GT(qc_stats().certs_built, 0) << ScheduleTemplateName(t);
+    EXPECT_GT(qc_stats().verifies_elided, 0) << ScheduleTemplateName(t);
+  }
+  qc_stats().Reset();
+}
+
 }  // namespace
 }  // namespace blockplane::chaos
