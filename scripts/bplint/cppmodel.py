@@ -21,6 +21,22 @@ Facts per file (see FileFacts):
   * `bplint:allow(...)` suppressions and `bplint:` file markers
   * identifier usage contexts used by BP004 (case labels, ==/!=
     comparisons)
+  * function/method definitions (FunctionDef) with qualified-name
+    resolution data: enclosing class (inline and out-of-line `T::M`),
+    return type, parameter tokens, body, and the call sites inside the
+    body (callee name + receiver + explicit `Cls::` qualifier) — the raw
+    material callgraph.py links into the project-wide call graph
+  * function declarations (prototypes) so return-type knowledge (BP008's
+    Status/StatusOr set) covers functions declared in headers but
+    defined in another translation unit
+  * timer facts for BP010: Schedule/ScheduleAt sites (assigned handle or
+    discarded result, plus the names called / handles assigned inside
+    the scheduled lambda for self-rearm detection) and the identifiers
+    appearing in Cancel(...) argument lists
+  * prologue-context call roots for BP007: names called inside lambdas
+    passed to RunPrologue (the returned epilogue — a lambda after
+    `return` — is excluded: it retires on the submit thread) and inside
+    lambdas pushed into BatchTask vectors in files that call RunBatch
 """
 
 from __future__ import annotations
@@ -96,6 +112,52 @@ class MarkCall:
 
 
 @dataclass
+class CallSite:
+    """One `name(...)` call inside a function body."""
+    line: int
+    name: str
+    recv: Optional[str] = None  # `x` in `x.name(...)` / `x->name(...)`
+    qual: Optional[str] = None  # `Cls` in `Cls::name(...)`
+
+
+@dataclass
+class FunctionDef:
+    """A function or method definition (body present)."""
+    path: str
+    cls: Optional[str]  # enclosing/qualifying class; None for free fns
+    name: str
+    line: int
+    ret: str  # return type as a space-joined token string ('' for ctors)
+    params: List[Tok] = field(default_factory=list)
+    body: List[Tok] = field(default_factory=list)
+    calls: List[CallSite] = field(default_factory=list)
+    lock_param: Optional[str] = None  # name of a unique_lock& parameter
+
+    @property
+    def qname(self) -> str:
+        return f"{self.cls}::{self.name}" if self.cls else self.name
+
+
+@dataclass
+class FnDecl:
+    """A function declaration (prototype, no body)."""
+    cls: Optional[str]
+    name: str
+    ret: str
+    line: int
+
+
+@dataclass
+class ScheduleSite:
+    """One Schedule/ScheduleAt call (BP010 timer hygiene)."""
+    line: int
+    handle: Optional[str]  # final identifier assigned, None if none
+    discarded: bool  # True when the TimerId result is dropped outright
+    lambda_calls: Set[str] = field(default_factory=set)
+    lambda_assigns: Set[str] = field(default_factory=set)
+
+
+@dataclass
 class GaugeCall:
     line: int
     key: str
@@ -124,6 +186,10 @@ class FileFacts:
     string_literals: Set[str] = field(default_factory=set)
     case_idents: Set[str] = field(default_factory=set)
     cmp_idents: Set[str] = field(default_factory=set)
+    fn_defs: List[FunctionDef] = field(default_factory=list)
+    fn_decls: List[FnDecl] = field(default_factory=list)
+    cancel_args: Set[str] = field(default_factory=set)
+    prologue_roots: Set[str] = field(default_factory=set)
 
 
 # ---------------------------------------------------------------------------
@@ -577,6 +643,389 @@ def _parse_marks_and_catalog(toks: List[Tok], facts: FileFacts) -> None:
         i += 1
 
 
+# ---------------------------------------------------------------------------
+# function definitions / declarations and call sites
+# ---------------------------------------------------------------------------
+
+# Keywords that can directly precede a '(' without being a call or a
+# function name. `operator` is included: overloaded operators are not
+# interesting call-graph nodes for the rules bplint runs.
+_NON_FN_IDS = {
+    "if", "for", "while", "switch", "return", "co_return", "sizeof",
+    "alignof", "decltype", "catch", "new", "delete", "throw", "do",
+    "else", "case", "default", "operator", "assert", "defined",
+    "static_assert", "alignas", "noexcept", "typeid",
+}
+# Statement heads a return-type walk-back must stop at.
+_HEAD_STOP = {";", "{", "}", ":", ",", "(", ")"}
+_RET_SKIP_HEADS = {"public", "private", "protected", "template", "typename",
+                   "virtual", "explicit", "friend", "using"}
+
+
+def _brace_kind(toks: Sequence[Tok], i: int) -> str:
+    """Classifies the '{' at toks[i]: 'ns', 'type', or 'block'."""
+    j = i - 1
+    header: List[str] = []
+    while j >= 0 and toks[j].text not in (";", "{", "}") and len(header) < 32:
+        header.append(toks[j].text)
+        j -= 1
+    if "namespace" in header:
+        return "ns"
+    if {"struct", "class", "union", "enum"} & set(header) and \
+            "=" not in header:
+        return "type"
+    return "block"
+
+
+def _type_name_before(toks: Sequence[Tok], i: int) -> Optional[str]:
+    """The declared name of the struct/class whose body opens at toks[i]."""
+    j = i - 1
+    while j >= 0 and toks[j].text not in (";", "{", "}") and i - j < 32:
+        if toks[j].text in ("struct", "class", "union", "enum"):
+            k = j + 1
+            if k < i and toks[k].text in ("class", "struct"):
+                k += 1
+            while k < i and toks[k].text == "[":
+                k = match_balanced(toks, k)
+            if k < i and toks[k].kind == "id":
+                return toks[k].text
+            return None
+        j -= 1
+    return None
+
+
+def _ret_type_before(toks: Sequence[Tok], end: int) -> str:
+    """Return-type token texts ending just before index `end` (exclusive)."""
+    parts: List[str] = []
+    j = end - 1
+    while j >= 0 and len(parts) < 12:
+        t = toks[j]
+        if t.text in _HEAD_STOP or t.text in _RET_SKIP_HEADS or \
+                t.text == "=":
+            break
+        if t.text == ">":
+            # Template argument list (e.g. StatusOr<T>): consume back to
+            # the matching '<' so the template name lands in the type.
+            depth = 1
+            parts.append(t.text)
+            j -= 1
+            while j >= 0 and depth > 0:
+                if toks[j].text == ">":
+                    depth += 1
+                elif toks[j].text == "<":
+                    depth -= 1
+                parts.append(toks[j].text)
+                j -= 1
+            continue
+        parts.append(t.text)
+        j -= 1
+    drop = {"inline", "static", "constexpr", "extern", "virtual", "explicit"}
+    parts = [p for p in parts if p not in drop]
+    return " ".join(reversed(parts))
+
+
+def _extract_calls(body: Sequence[Tok]) -> List[CallSite]:
+    calls: List[CallSite] = []
+    n = len(body)
+    for i, t in enumerate(body):
+        if t.kind != "id" or t.text in _NON_FN_IDS:
+            continue
+        if i + 1 >= n or body[i + 1].text != "(":
+            continue
+        recv: Optional[str] = None
+        qual: Optional[str] = None
+        if i >= 2 and body[i - 1].text == "::" and body[i - 2].kind == "id":
+            qual = body[i - 2].text
+        elif i >= 1 and body[i - 1].text in (".", "->"):
+            if i >= 2 and body[i - 2].kind == "id":
+                recv = body[i - 2].text
+            else:
+                recv = "?"  # chained off a call result / subscript
+        calls.append(CallSite(line=t.line, name=t.text, recv=recv, qual=qual))
+    return calls
+
+
+def _lock_param_name(params: Sequence[Tok]) -> Optional[str]:
+    """The name of a unique_lock& parameter, if the signature has one."""
+    n = len(params)
+    for i, t in enumerate(params):
+        if t.kind == "id" and t.text == "unique_lock":
+            j = i + 1
+            if j < n and params[j].text == "<":
+                j = match_template(params, j)
+            while j < n and params[j].text in ("&", "*", "const"):
+                j += 1
+            if j < n and params[j].kind == "id":
+                return params[j].text
+    return None
+
+
+def _parse_functions(toks: List[Tok], facts: FileFacts) -> None:
+    """Collects every function/method definition and declaration.
+
+    A single forward scan with a namespace/class context stack: function
+    bodies are skipped wholesale once recorded, so call-looking tokens
+    inside bodies can never masquerade as definitions."""
+    n = len(toks)
+    stack: List[Tuple[str, Optional[str]]] = []  # (kind, type name)
+    i = 0
+    while i < n:
+        t = toks[i]
+        if t.text == "{":
+            kind = _brace_kind(toks, i)
+            name = _type_name_before(toks, i) if kind == "type" else None
+            stack.append((kind, name))
+            i += 1
+            continue
+        if t.text == "}":
+            if stack:
+                stack.pop()
+            i += 1
+            continue
+        if t.text == "(" and i >= 1 and toks[i - 1].kind == "id" and \
+                toks[i - 1].text not in _NON_FN_IDS and \
+                all(k != "block" for k, _ in stack):
+            nxt = _try_function(toks, i, stack, facts)
+            if nxt > i:
+                i = nxt
+                continue
+        i += 1
+
+
+def _try_function(toks: List[Tok], paren: int,
+                  stack: List[Tuple[str, Optional[str]]],
+                  facts: FileFacts) -> int:
+    """toks[paren] == '(' preceded by an identifier at namespace/class
+    scope. Returns the index to resume at (past the def/decl), or paren
+    when this is not a function at all."""
+    n = len(toks)
+    name_idx = paren - 1
+    name = toks[name_idx].text
+    line = toks[name_idx].line
+    cls: Optional[str] = None
+    head_end = name_idx  # exclusive end of the return-type region
+    p = name_idx - 1
+    if p >= 0 and toks[p].text == "~":  # destructor: Cls::~Cls()
+        name = "~" + name
+        p -= 1
+        head_end = p + 1
+    if p >= 1 and toks[p].text == "::" and toks[p - 1].kind == "id":
+        cls = toks[p - 1].text
+        head_end = p - 1
+    elif stack and stack[-1][0] == "type" and stack[-1][1]:
+        cls = stack[-1][1]
+    ret = _ret_type_before(toks, head_end)
+
+    close = match_balanced(toks, paren)
+    params = list(toks[paren + 1:close - 1])
+    k = close
+    while k < n and toks[k].kind == "id" and \
+            toks[k].text in ("const", "noexcept", "override", "final",
+                             "mutable", "try"):
+        k += 1
+    if k < n and toks[k].text == "->":  # trailing return type
+        k += 1
+        while k < n and toks[k].text not in ("{", ";"):
+            if toks[k].text == "<":
+                k = match_template(toks, k)
+                continue
+            k += 1
+    if k < n and toks[k].text == "=":
+        # `= default;` / `= delete;` / `= 0;` — declaration-like.
+        while k < n and toks[k].text != ";":
+            k += 1
+        if ret or cls:
+            facts.fn_decls.append(FnDecl(cls=cls, name=name, ret=ret,
+                                         line=line))
+        return k + 1
+    if k < n and toks[k].text == ":":  # constructor initializer list
+        k += 1
+        while k < n and toks[k].text not in (";",):
+            if toks[k].text in ("(", "["):
+                k = match_balanced(toks, k)
+                continue
+            if toks[k].text == "{":
+                if toks[k - 1].kind == "id":  # brace-init member
+                    k = match_balanced(toks, k)
+                    continue
+                break  # the function body
+            k += 1
+    if k < n and toks[k].text == ";":
+        # Prototype. Variable declarations with ctor arguments also land
+        # here; they are harmless in the return-type index.
+        if ret:
+            facts.fn_decls.append(FnDecl(cls=cls, name=name, ret=ret,
+                                         line=line))
+        return k + 1
+    if k >= n or toks[k].text != "{":
+        return paren  # not a function after all (expression, macro, ...)
+    body_end = match_balanced(toks, k)
+    body = list(toks[k + 1:body_end - 1])
+    fn = FunctionDef(path=facts.path, cls=cls, name=name, line=line,
+                     ret=ret, params=params, body=body,
+                     calls=_extract_calls(body),
+                     lock_param=_lock_param_name(params))
+    facts.fn_defs.append(fn)
+    return body_end
+
+
+# ---------------------------------------------------------------------------
+# timer facts (BP010)
+# ---------------------------------------------------------------------------
+
+_SCHEDULE_NAMES = ("Schedule", "ScheduleAt")
+
+
+def schedule_sites(body: Sequence[Tok]) -> List[ScheduleSite]:
+    sites: List[ScheduleSite] = []
+    n = len(body)
+    i = 0
+    while i < n:
+        t = body[i]
+        if t.kind != "id" or t.text not in _SCHEDULE_NAMES or \
+                i + 1 >= n or body[i + 1].text != "(":
+            i += 1
+            continue
+        end = match_balanced(body, i + 1)
+        args = body[i + 2:end - 1]
+        site = ScheduleSite(line=t.line, handle=None, discarded=True)
+        for ci, ct in enumerate(args):
+            if ct.kind == "id" and ci + 1 < len(args) and \
+                    args[ci + 1].text == "(" and ct.text not in _NON_FN_IDS:
+                site.lambda_calls.add(ct.text)
+            if ct.text == "=" and ci >= 1 and args[ci - 1].kind == "id" and \
+                    (ci + 1 >= len(args) or args[ci + 1].text != "="):
+                site.lambda_assigns.add(args[ci - 1].text)
+        # Walk backwards to find what happens to the returned TimerId.
+        p = i - 1
+        steps = 0
+        while p >= 0 and steps < 48:
+            tt = body[p].text
+            if tt in (";", "{", "}"):
+                break  # statement-position call: result dropped
+            if tt in ("return", ",", "(") or tt == "co_return":
+                site.discarded = False  # escapes to the caller / an arg
+                break
+            if tt == "=":
+                site.discarded = False
+                if p >= 1 and body[p - 1].kind == "id":
+                    site.handle = body[p - 1].text
+                break
+            if tt == ")":
+                depth = 1
+                p -= 1
+                while p >= 0 and depth > 0:
+                    if body[p].text == ")":
+                        depth += 1
+                    elif body[p].text == "(":
+                        depth -= 1
+                    p -= 1
+                steps += 1
+                continue
+            p -= 1
+            steps += 1
+        sites.append(site)
+        i = end
+    return sites
+
+
+def _parse_cancels(toks: List[Tok], facts: FileFacts) -> None:
+    n = len(toks)
+    i = 0
+    while i < n:
+        t = toks[i]
+        if t.kind == "id" and t.text == "Cancel" and i + 1 < n and \
+                toks[i + 1].text == "(":
+            end = match_balanced(toks, i + 1)
+            for a in toks[i + 2:end - 1]:
+                if a.kind == "id":
+                    facts.cancel_args.add(a.text)
+            i = end
+            continue
+        i += 1
+
+
+# ---------------------------------------------------------------------------
+# prologue-context roots (BP007 transitive scope)
+# ---------------------------------------------------------------------------
+
+def _lambda_body_span(toks: Sequence[Tok], i: int) -> Optional[Tuple[int, int]]:
+    """toks[i] == '['. Returns the (start, end) token span of the lambda
+    body when this really is a lambda, else None."""
+    n = len(toks)
+    j = match_balanced(toks, i)  # past the capture list
+    if j < n and toks[j].text == "(":
+        j = match_balanced(toks, j)
+    while j < n and toks[j].kind == "id" and \
+            toks[j].text in ("mutable", "noexcept", "constexpr"):
+        j += 1
+    if j < n and toks[j].text == "->":
+        j += 1
+        while j < n and toks[j].text not in ("{", ";", ")"):
+            if toks[j].text == "<":
+                j = match_template(toks, j)
+                continue
+            j += 1
+    if j < n and toks[j].text == "{":
+        return j + 1, match_balanced(toks, j) - 1
+    return None
+
+
+def _collect_worker_calls(toks: Sequence[Tok], start: int, end: int,
+                          out: Set[str]) -> None:
+    """Call names in [start, end), skipping lambdas that follow a
+    `return`: a returned lambda is the epilogue, and epilogues retire on
+    the submit thread (DESIGN.md section 12), not on workers."""
+    i = start
+    prev_id = ""
+    while i < end:
+        t = toks[i]
+        if t.text == "[":
+            span = _lambda_body_span(toks, i)
+            if span is not None:
+                lam_start, lam_end = span
+                if prev_id != "return":
+                    _collect_worker_calls(toks, lam_start, lam_end, out)
+                i = lam_end + 1
+                prev_id = ""
+                continue
+        if t.kind == "id":
+            if t.text not in _NON_FN_IDS and i + 1 < end and \
+                    toks[i + 1].text == "(":
+                out.add(t.text)
+            prev_id = t.text
+        elif t.kind == "punct":
+            prev_id = ""
+        i += 1
+
+
+def _parse_prologue_roots(toks: List[Tok], facts: FileFacts) -> None:
+    n = len(toks)
+    mentions_runbatch = any(t.kind == "id" and t.text == "RunBatch"
+                            for t in toks)
+    i = 0
+    while i < n:
+        t = toks[i]
+        if t.kind != "id" or i + 1 >= n or toks[i + 1].text != "(":
+            i += 1
+            continue
+        if t.text == "RunPrologue":
+            end = match_balanced(toks, i + 1)
+            _collect_worker_calls(toks, i + 2, end - 1,
+                                  facts.prologue_roots)
+            i = end
+            continue
+        if mentions_runbatch and t.text in ("push_back", "emplace_back"):
+            end = match_balanced(toks, i + 1)
+            region = toks[i + 2:end - 1]
+            if any(a.text == "[" for a in region):
+                _collect_worker_calls(toks, i + 2, end - 1,
+                                      facts.prologue_roots)
+            i = end
+            continue
+        i += 1
+
+
 def _parse_usage_contexts(toks: List[Tok], facts: FileFacts) -> None:
     n = len(toks)
     for i, t in enumerate(toks):
@@ -636,4 +1085,7 @@ def analyze_file(path: str, text: str) -> FileFacts:
     _parse_unordered(toks, facts)
     _parse_marks_and_catalog(toks, facts)
     _parse_usage_contexts(toks, facts)
+    _parse_functions(toks, facts)
+    _parse_cancels(toks, facts)
+    _parse_prologue_roots(toks, facts)
     return facts

@@ -116,19 +116,42 @@ def _apply_suppressions(
     return survivors, hygiene
 
 
+def _analyze_one(args: Tuple[str, str]) -> FileFacts:
+    """Pool worker: analyze one file. Pure in (root, rel), so the merged
+    project — and therefore every diagnostic — is independent of worker
+    count and completion order."""
+    root, rel = args
+    with open(os.path.join(root, rel), "r", encoding="utf-8",
+              errors="replace") as fh:
+        return analyze_file(rel, fh.read())
+
+
 def run(paths: Sequence[str], root: str,
         compile_commands_dir: Optional[str] = None,
         disabled: Optional[Set[str]] = None,
-        use_clang: bool = True) -> Tuple[List[Diagnostic], int]:
-    """Analyzes, returns (sorted diagnostics, files analyzed)."""
+        use_clang: bool = True,
+        jobs: int = 1,
+        changed_only: Optional[Set[str]] = None
+        ) -> Tuple[List[Diagnostic], int]:
+    """Analyzes, returns (sorted diagnostics, files analyzed).
+
+    jobs > 1 parallelizes the per-file analysis only; the rule passes
+    run serially over the merged project, so output is byte-identical
+    to a serial run. changed_only (root-relative paths) filters the
+    REPORTED diagnostics without shrinking the ANALYZED set — cross-file
+    rules still see the whole project, so a change that breaks an
+    invariant in an untouched file goes quiet rather than misattributed,
+    and one in a touched file is still found through any chain."""
     disabled = disabled or set()
     enabled = {r for r in ALL_RULES if r not in disabled}
     rel_paths = collect_files(paths, root, compile_commands_dir)
-    files: List[FileFacts] = []
-    for rel in rel_paths:
-        with open(os.path.join(root, rel), "r", encoding="utf-8",
-                  errors="replace") as fh:
-            files.append(analyze_file(rel, fh.read()))
+    work = [(root, rel) for rel in rel_paths]
+    if jobs > 1 and len(work) > 1:
+        import multiprocessing
+        with multiprocessing.Pool(min(jobs, len(work))) as pool:
+            files = pool.map(_analyze_one, work)  # preserves input order
+    else:
+        files = [_analyze_one(w) for w in work]
 
     project = Project(files)
     if use_clang:
@@ -149,4 +172,6 @@ def run(paths: Sequence[str], root: str,
 
     survivors, hygiene = _apply_suppressions(files, diags, enabled)
     out = sorted(set(survivors + hygiene))
+    if changed_only is not None:
+        out = [d for d in out if d.path in changed_only]
     return out, len(files)

@@ -1,0 +1,22 @@
+// Fixture: BP008 clean — every Status result is bound, checked,
+// explicitly voided, or carries a reasoned allow.
+
+struct Status {
+  static Status OK();
+  bool ok() const;
+};
+
+Status LoadState(int epoch);
+
+bool Recover() {
+  Status s = LoadState(1);                // bound: fine
+  if (!LoadState(2).ok()) return false;   // checked inline: fine
+  (void)LoadState(3);                     // explicit discard: fine
+  return s.ok();
+}
+
+void WarmCaches() {
+  // A best-effort prefetch whose failure the next access repairs.
+  // bplint:allow(BP008) advisory prefetch, a miss self-heals on demand
+  LoadState(4);
+}

@@ -1,0 +1,20 @@
+// Fixture: BP008 — a discarded Status/StatusOr is a silent failure.
+// The return-type index is project-wide (definitions AND prototypes),
+// so a statement-position call to any Status-returning function is
+// caught even when the definition lives in another translation unit.
+
+struct Status {
+  static Status OK();
+  bool ok() const;
+};
+
+Status LoadState(int epoch);  // prototype only: defined elsewhere
+
+struct Journal {
+  Status Append(int record);
+};
+
+void Recover(Journal* journal) {
+  LoadState(7);        // forbidden: Status dropped on the floor
+  journal->Append(1);  // forbidden: method result dropped too
+}

@@ -1,0 +1,32 @@
+// Fixture: BP009 clean — the unlock-before-invoke handoff idiom.
+// RetireFront takes the caller's unique_lock by reference, so it is
+// analyzed entry-locked with its own unlock()/lock() toggles honored:
+// the Send happens in the released window and proves itself clean, and
+// the caller passing its lock down is a handoff, not a violation.
+
+struct Transport {
+  void Send(int bytes);
+};
+
+struct Session {
+  std::mutex mu_;
+  Transport* net_;
+  int queued_ = 0;
+
+  bool RetireFront(std::unique_lock<std::mutex>& lock) {
+    if (queued_ == 0) return false;
+    --queued_;
+    lock.unlock();
+    net_->Send(1);  // lock released: fine
+    lock.lock();
+    return true;
+  }
+
+  void Pump() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (RetireFront(lock)) {  // handoff: callee owns the protocol
+    }
+    lock.unlock();
+    net_->Send(0);  // released before the tail flush: fine
+  }
+};

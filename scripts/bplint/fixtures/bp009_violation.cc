@@ -1,0 +1,20 @@
+// Fixture: BP009 — Send reachable while a lock is held, both directly
+// and through a project helper (the interprocedural part: Relay itself
+// takes no lock, but calling it under one drags Send into the scope).
+
+struct Transport {
+  void Send(int bytes);
+};
+
+struct Session {
+  std::mutex mu_;
+  Transport* net_;
+
+  void Relay(int m) { net_->Send(m); }
+
+  void Flush(int m) {
+    std::lock_guard<std::mutex> lock(mu_);
+    net_->Send(m);  // forbidden: direct Send under the lock
+    Relay(m);       // forbidden: Relay -> Send, still under the lock
+  }
+};

@@ -1,0 +1,24 @@
+// Fixture: BP010 clean — every schedule either reaches a Cancel, is a
+// self-rearming heartbeat, or escapes to a caller who owns it.
+
+struct Sim {
+  unsigned long Schedule(long delay_ns, void (*fn)());
+  void Cancel(unsigned long id);
+};
+
+struct Node {
+  Sim* sim_;
+  unsigned long heartbeat_timer_ = 0;
+
+  void SendHeartbeats() {
+    // Self-rearm: the callback calls back into this very function, so
+    // the timer chain is alive by construction (and Stop cancels it).
+    heartbeat_timer_ = sim_->Schedule(10, [this] { SendHeartbeats(); });
+  }
+
+  unsigned long Lease(long ttl) {
+    return sim_->Schedule(ttl, [] {});  // escapes: the caller owns it
+  }
+
+  void Stop() { sim_->Cancel(heartbeat_timer_); }
+};

@@ -1,0 +1,34 @@
+// Fixture: BP010 — timers in a file that manages cancellable timers
+// (it calls Cancel somewhere) must each reach a Cancel or re-arm
+// themselves; anything else is the Simulator Cancel-leak class.
+
+struct Sim {
+  unsigned long Schedule(long delay_ns, void (*fn)());
+  void Cancel(unsigned long id);
+};
+
+struct Node {
+  Sim* sim_;
+  unsigned long election_timer_ = 0;
+  unsigned long retry_timer_ = 0;
+
+  void OnTimeout();
+
+  void ArmRetry() {
+    // forbidden: the handle is kept but nothing ever cancels it and
+    // the callback never re-arms — a stale retry fires after teardown.
+    retry_timer_ = sim_->Schedule(10, [this] { OnTimeout(); });
+  }
+
+  void ArmOrphan() {
+    // forbidden: the handle is dropped outright, so this timer can
+    // neither be cancelled nor re-armed.
+    sim_->Schedule(5, [this] { OnTimeout(); });
+  }
+
+  void ArmElection() {
+    election_timer_ = sim_->Schedule(20, [this] { OnTimeout(); });
+  }
+
+  void Stop() { sim_->Cancel(election_timer_); }
+};

@@ -1,0 +1,27 @@
+// Fixture: BP011 clean — the count is checked against the remaining
+// payload before it reaches reserve (every encoded element is at least
+// one byte, so a count beyond remaining() is corrupt by definition).
+
+struct Status {
+  static Status OK();
+  bool ok() const;
+};
+
+struct Decoder {
+  Status GetU32(unsigned* value);
+  unsigned long remaining() const;
+};
+
+struct Frame {
+  int parts[4];
+};
+
+Status DecodeFrames(Decoder* dec, std::vector<Frame>* out) {
+  unsigned n = 0;
+  Status s = dec->GetU32(&n);
+  if (!s.ok()) return s;
+  if (n > dec->remaining()) return s;  // bounded by the payload: fine
+  out->reserve(n);
+  out->resize(n);
+  return Status::OK();
+}

@@ -1,0 +1,27 @@
+// Fixture: BP011 — a wire-controlled count must be bounded by the
+// decoder's remaining bytes before it sizes an allocation. A constant
+// cap is NOT a bound: it still lets a 20-byte message demand a
+// 4096-element reserve (the DecodeBatch attacker-allocation class).
+
+struct Status {
+  static Status OK();
+  bool ok() const;
+};
+
+struct Decoder {
+  Status GetU32(unsigned* value);
+  unsigned long remaining() const;
+};
+
+struct Frame {
+  int parts[4];
+};
+
+Status DecodeFrames(Decoder* dec, std::vector<Frame>* out) {
+  unsigned n = 0;
+  Status s = dec->GetU32(&n);
+  if (!s.ok()) return s;
+  if (n > 4096) return s;  // constant cap only: not a real bound
+  out->reserve(n);         // forbidden: attacker-chosen allocation
+  return Status::OK();
+}

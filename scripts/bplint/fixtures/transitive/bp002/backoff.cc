@@ -1,0 +1,11 @@
+// Transitive fixture group: bp002. No entropy token appears anywhere
+// in this file — the violation exists only because JitterSeed (defined
+// in jitter.cc) bottoms out in time(nullptr) two calls away. Linted
+// alone, this file is clean.
+
+long JitterSeed();
+
+long NextBackoff(long base_ns, int attempt) {
+  long ceil_ns = base_ns << attempt;
+  return ceil_ns + JitterSeed() % base_ns;  // BP002 via the group only
+}

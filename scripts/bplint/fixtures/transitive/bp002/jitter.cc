@@ -1,0 +1,12 @@
+// Transitive fixture group: bp002. This file defines the entropy leaf
+// and a one-hop wrapper; backoff.cc in the same group reaches the leaf
+// only through the wrapper (two calls deep), and is clean when linted
+// by itself because the wrapper is unresolved outside the group.
+
+long RawTick() {
+  return time(nullptr);  // direct BP002: wall-clock entropy
+}
+
+long JitterSeed() {
+  return RawTick() * 2654435761L;  // transitive BP002, one hop
+}

@@ -1,0 +1,11 @@
+// Transitive fixture group: bp005. A consensus-path file that never
+// spells `double` or `float` itself — the violation is that Admit
+// calls Trend, which computes in doubles two frames down (ewma.cc).
+// Linted alone, Trend is unresolved and this file is clean.
+// bplint:consensus-path
+
+long Trend(long prev, long sample);
+
+bool Admit(long prev, long sample, long threshold) {
+  return Trend(prev, sample) > threshold;  // BP005 via the group only
+}

@@ -1,0 +1,13 @@
+// Transitive fixture group: bp005. An out-of-scope utility file (no
+// consensus-path marker): its own doubles are legal here, but any
+// consensus-path caller that reaches them has smuggled floating point
+// into the decision path.
+
+long Smooth(long prev, long sample) {
+  double mixed = prev * 0.875 + sample * 0.125;
+  return (long)mixed;
+}
+
+long Trend(long prev, long sample) {
+  return Smooth(prev, sample) - prev;
+}

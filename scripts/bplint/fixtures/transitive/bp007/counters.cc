@@ -1,0 +1,15 @@
+// Transitive fixture group: bp007. This file never mentions RunPrologue
+// or any other Runner trigger, so by itself it is out of BP007 scope
+// and lints clean. In the group, submit.cc's prologue lambda calls
+// DecodeAndCount, which calls Bump — so this file's code runs on
+// worker threads and its mutable static becomes a data race.
+
+int Bump() {
+  static int calls = 0;  // BP007 via the group only: workers race here
+  return ++calls;
+}
+
+int DecodeAndCount(int bytes) {
+  Bump();
+  return bytes / 16;
+}

@@ -1,0 +1,19 @@
+// Transitive fixture group: bp007. This file owns the Runner seam: the
+// lambda handed to RunPrologue runs on a worker thread, so everything
+// it calls — DecodeAndCount, defined in counters.cc — inherits the
+// BP007 concurrency obligations. The returned lambda is the epilogue
+// (submit thread) and is deliberately NOT part of the worker closure.
+
+struct Runner {
+  void RunPrologue(int job);
+};
+
+int DecodeAndCount(int bytes);
+void Publish(int n);
+
+void Enqueue(Runner* runner, int bytes) {
+  runner->RunPrologue([bytes] {
+    int n = DecodeAndCount(bytes);  // worker-side: taints counters.cc
+    return [n] { Publish(n); };     // epilogue: submit thread, exempt
+  });
+}

@@ -39,6 +39,12 @@ _PUNCTS = [
     "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
     "++", "--", "##",
 ]
+# First-char dispatch so the hot path probes only plausible operators
+# (most punctuation — braces, parens, commas — has no multi-char form
+# and skips the probe loop entirely).
+_PUNCT_BY_FIRST: dict = {}
+for _p in _PUNCTS:
+    _PUNCT_BY_FIRST.setdefault(_p[0], []).append(_p)
 
 _ID_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
 _ID_CONT = _ID_START | set("0123456789")
@@ -172,8 +178,8 @@ def lex(text: str) -> Tuple[List[Tok], List[Tuple[int, str]]]:
             i = j
             continue
 
-        # Punctuation, longest match first.
-        for p in _PUNCTS:
+        # Punctuation, longest match first among same-first-char forms.
+        for p in _PUNCT_BY_FIRST.get(c, ()):
             if text.startswith(p, i):
                 toks.append(Tok("punct", p, line))
                 i += len(p)

@@ -1,0 +1,67 @@
+"""SARIF 2.1.0 export for bplint diagnostics.
+
+One run, one tool (bplint), one result per diagnostic. The output is
+deterministic — rules and results are emitted in sorted order and the
+JSON is serialized with sorted keys — so the SARIF artifact is as
+byte-stable as the plain-text output, and GitHub code scanning sees
+stable fingerprints across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from rules import RULE_DESCRIPTIONS, Diagnostic
+
+_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+           "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def to_sarif(diags: Sequence[Diagnostic]) -> str:
+    rules: List[dict] = [
+        {
+            "id": rule,
+            "shortDescription": {"text": desc},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule, desc in RULE_DESCRIPTIONS
+    ]
+    results: List[dict] = [
+        {
+            "ruleId": d.rule,
+            "level": "error",
+            "message": {"text": d.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": d.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {"startLine": max(d.line, 1)},
+                    }
+                }
+            ],
+        }
+        for d in sorted(diags)
+    ]
+    doc = {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "bplint",
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///"}
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"

@@ -27,7 +27,18 @@ Checks performed:
      allow must NOT silence the BP005 diagnostic it sits above.
 
   5. Determinism. Two full runs over the fixture set must be
-     byte-identical.
+     byte-identical, and a jobs=2 parallel analysis must produce exactly
+     the serial diagnostics.
+
+  6. Transitive chains. Each fixtures/transitive/bpNNN/ group is
+     analyzed as one multi-file project; the rule must fire in a file
+     that is clean when analyzed alone — proving the diagnostic exists
+     only through the interprocedural chain, not through anything
+     lexical in the flagged file.
+
+  7. CLI + SARIF smoke. --list-rules names every rule, a violation
+     fixture drives exit status 1 (0 under --disable), and the SARIF
+     export is valid JSON carrying the full rule catalog.
 
 Exit status: 0 on success, 1 on any failure.
 """
@@ -57,12 +68,38 @@ def fixture_names():
     return sorted(f for f in os.listdir(FIXTURES) if f.endswith(".cc"))
 
 
+def transitive_groups():
+    tdir = os.path.join(FIXTURES, "transitive")
+    if not os.path.isdir(tdir):
+        return []
+    return sorted(g for g in os.listdir(tdir)
+                  if os.path.isdir(os.path.join(tdir, g)))
+
+
+def group_files(group):
+    gdir = os.path.join(FIXTURES, "transitive", group)
+    return sorted(os.path.join(gdir, f) for f in os.listdir(gdir)
+                  if f.endswith(".cc"))
+
+
+def analyze_group(group, disabled=frozenset()):
+    """Analyze a transitive fixture group as one multi-file project."""
+    diags, _ = engine.run(group_files(group), root=FIXTURES,
+                          compile_commands_dir=None, disabled=disabled,
+                          use_clang=False)
+    return diags
+
+
 def render_all():
     """Produce the golden text: per-fixture header + diagnostics."""
     out = []
     for name in fixture_names():
         out.append("== %s ==" % name)
         for d in analyze_fixture(name):
+            out.append(str(d))
+    for group in transitive_groups():
+        out.append("== transitive/%s ==" % group)
+        for d in analyze_group(group):
             out.append(str(d))
     return "\n".join(out) + "\n"
 
@@ -131,8 +168,40 @@ def main():
     # --- 5. determinism -------------------------------------------------
     if render_all() != text:
         failures.append("nondeterministic output across two identical runs")
+    serial, _ = engine.run([FIXTURES], root=FIXTURES,
+                           compile_commands_dir=None, use_clang=False)
+    par, _ = engine.run([FIXTURES], root=FIXTURES,
+                        compile_commands_dir=None, use_clang=False, jobs=2)
+    if list(map(str, serial)) != list(map(str, par)):
+        failures.append("jobs=2 diagnostics differ from the serial run")
 
-    # --- 6. CLI smoke ---------------------------------------------------
+    # --- 6. transitive chains -------------------------------------------
+    for group in transitive_groups():
+        rule = group.upper()
+        grouped = {d.path for d in analyze_group(group) if d.rule == rule}
+        if not grouped:
+            failures.append("transitive/%s: group analysis produced no "
+                            "%s diagnostics" % (group, rule))
+            continue
+        if [d for d in analyze_group(group, disabled={rule})
+                if d.rule == rule]:
+            failures.append("transitive/%s: diagnostics survived "
+                            "--disable=%s" % (group, rule))
+        # The chain file: flagged in the group, silent on its own.
+        chain_only = False
+        for path in group_files(group):
+            rel = os.path.relpath(path, FIXTURES).replace(os.sep, "/")
+            alone = [d for d in
+                     engine.run([path], root=FIXTURES,
+                                compile_commands_dir=None,
+                                use_clang=False)[0] if d.rule == rule]
+            if rel in grouped and not alone:
+                chain_only = True
+        if not chain_only:
+            failures.append("transitive/%s: no file is flagged only "
+                            "through the cross-file chain" % group)
+
+    # --- 7. CLI smoke ---------------------------------------------------
     import subprocess
     cli = subprocess.run([sys.executable, _HERE, "--list-rules"],
                          capture_output=True, text=True)
@@ -155,14 +224,25 @@ def main():
     if off.returncode != 0:
         failures.append("CLI --disable=BP005 still flagged the fixture "
                         "(rc=%d)" % off.returncode)
+    import json
+    from sarif import to_sarif  # noqa: E402
+    doc = json.loads(to_sarif(analyze_fixture("bp005_violation.cc")))
+    sarif_rules = {r["id"] for r in
+                   doc["runs"][0]["tool"]["driver"]["rules"]}
+    if not set(ALL_RULES) <= sarif_rules:
+        failures.append("SARIF rule catalog is missing %s"
+                        % ", ".join(sorted(set(ALL_RULES) - sarif_rules)))
+    if not any(r["ruleId"] == "BP005" for r in doc["runs"][0]["results"]):
+        failures.append("SARIF export lost the BP005 result")
 
     if failures:
         for f in failures:
             print("FAIL: %s" % f, file=sys.stderr)
         print("selftest: %d failure(s)" % len(failures), file=sys.stderr)
         return 1
-    print("selftest: OK (%d fixtures, %d rules)"
-          % (len(fixture_names()), len(ALL_RULES)))
+    print("selftest: OK (%d fixtures, %d transitive groups, %d rules)"
+          % (len(fixture_names()), len(transitive_groups()),
+             len(ALL_RULES)))
     return 0
 
 

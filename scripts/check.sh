@@ -32,12 +32,16 @@
 #       compile database — skipped with a notice when clang-tidy is not
 #       installed.
 #   4b. bplint: the project-invariant static-analysis suite
-#       (scripts/bplint; rules BP001–BP007 — determinism, entropy
+#       (scripts/bplint; rules BP001–BP011 — determinism, entropy
 #       hygiene, wire-field coverage, dispatch exhaustiveness, integer
 #       consensus math, metrics/trace hygiene, runner prologue-path
-#       state). Zero unsuppressed diagnostics required, and two runs
-#       must be byte-identical. Runs even under --fast: it is
-#       self-contained Python and <1 s.
+#       state, discarded Status, lock-scope discipline, timer hygiene,
+#       bounded decode; the entropy/float/prologue rules chase call
+#       chains across translation units via the project call graph).
+#       Zero unsuppressed diagnostics required; the serial run, a
+#       rerun, and a --jobs=4 run must all be byte-identical; and the
+#       whole-tree pass must finish inside its 1.5 s budget. Runs even
+#       under --fast: it is self-contained Python.
 #   5. The same suite under ASan+UBSan in a separate Debug build tree
 #      (build-asan/). The zero-copy payload paths share one allocation
 #      across broadcast fan-out, retransmission buffers, and reorder
@@ -119,15 +123,27 @@ cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure
 
 # Pass 4b (bplint) is cheap and dependency-free, so it also runs in --fast
-# builds. Two back-to-back runs must agree byte for byte: a lint whose
-# output wobbles cannot gate a determinism-obsessed repo.
+# builds. The serial run, a rerun, and a --jobs=4 run must all agree byte
+# for byte: a lint whose output wobbles — across time or across worker
+# counts — cannot gate a determinism-obsessed repo. The timed first run
+# must also stay inside the 1.5 s whole-tree budget that keeps the gate
+# viable as a pre-commit hook.
 run_bplint() {
-  echo "=== pass 4b: bplint (BP001-BP007 project invariants) ==="
+  echo "=== pass 4b: bplint (BP001-BP011 project invariants) ==="
+  local t0 t1 elapsed_ms
+  t0="$(date +%s%N)"
   python3 scripts/bplint -p build src bench | tee build/bplint.out
+  t1="$(date +%s%N)"
+  elapsed_ms=$(( (t1 - t0) / 1000000 ))
   python3 scripts/bplint -p build src bench > build/bplint.rerun.out
   cmp build/bplint.out build/bplint.rerun.out \
     || { echo "bplint output is not byte-identical across runs"; exit 1; }
-  echo "bplint clean (byte-identical across two runs)"
+  python3 scripts/bplint -p build --jobs 4 src bench > build/bplint.jobs.out
+  cmp build/bplint.out build/bplint.jobs.out \
+    || { echo "bplint --jobs=4 output differs from the serial run"; exit 1; }
+  [[ "$elapsed_ms" -lt 1500 ]] \
+    || { echo "bplint took ${elapsed_ms}ms, over the 1500ms budget"; exit 1; }
+  echo "bplint clean (${elapsed_ms}ms; serial == rerun == --jobs=4)"
 }
 
 echo "=== pass 2: metrics registry snapshot ==="

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Convenience wrapper around the bplint static-analysis suite.
+#
+#   scripts/lint.sh                lint src/ and bench/ (whole tree)
+#   scripts/lint.sh --since-git    lint the whole tree, report only files
+#                                  changed vs HEAD (analysis still spans
+#                                  every file, so cross-file rules keep
+#                                  their full view)
+#   scripts/lint.sh --sarif out.sarif   also write a SARIF 2.1.0 report
+#   scripts/lint.sh src/core       any bplint arguments pass through
+#
+# Parallel analysis is on by default (one worker per core); the engine
+# guarantees byte-identical output to a serial run, which check.sh pass
+# 4b re-verifies on every merge.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+if [[ "$#" -gt 0 && "${1:0:1}" != "-" ]]; then
+  exec python3 scripts/bplint --jobs "$JOBS" "$@"
+fi
+# Paths go first: --since-git takes an optional REF, so a path right
+# after it would be parsed as the ref (use --since-git=REF to be safe).
+exec python3 scripts/bplint src bench --jobs "$JOBS" "$@"

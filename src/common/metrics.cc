@@ -9,36 +9,43 @@
 namespace blockplane {
 
 HotPathStats& hotpath_stats() {
+  // bplint:allow(BP007) submit/serial-thread-owned counter block (metrics.h); worker prologues call only *Detached paths, and the lone Verify chain is runner->serial()-gated
   static HotPathStats stats;
   return stats;
 }
 
 TransportStats& transport_stats() {
+  // bplint:allow(BP007) submit/serial-thread-owned counter block (metrics.h); worker prologues call only *Detached paths, and the lone Verify chain is runner->serial()-gated
   static TransportStats stats;
   return stats;
 }
 
 PipelineStats& pipeline_stats() {
+  // bplint:allow(BP007) submit/serial-thread-owned counter block (metrics.h); worker prologues call only *Detached paths, and the lone Verify chain is runner->serial()-gated
   static PipelineStats stats;
   return stats;
 }
 
 RobustnessStats& robustness_stats() {
+  // bplint:allow(BP007) submit/serial-thread-owned counter block (metrics.h); worker prologues call only *Detached paths, and the lone Verify chain is runner->serial()-gated
   static RobustnessStats stats;
   return stats;
 }
 
 RunnerStats& runner_stats() {
+  // bplint:allow(BP007) submit/serial-thread-owned counter block (metrics.h); worker prologues call only *Detached paths, and the lone Verify chain is runner->serial()-gated
   static RunnerStats stats;
   return stats;
 }
 
 CongestionStats& congestion_stats() {
+  // bplint:allow(BP007) submit/serial-thread-owned counter block (metrics.h); worker prologues call only *Detached paths, and the lone Verify chain is runner->serial()-gated
   static CongestionStats stats;
   return stats;
 }
 
 QcStats& qc_stats() {
+  // bplint:allow(BP007) submit/serial-thread-owned counter block (metrics.h); worker prologues call only *Detached paths, and the lone Verify chain is runner->serial()-gated
   static QcStats stats;
   return stats;
 }
@@ -208,6 +215,7 @@ std::string MetricsRegistry::ToJson() const {
 }
 
 MetricsRegistry& metrics_registry() {
+  // bplint:allow(BP007) submit/serial-thread-owned counter block (metrics.h); worker prologues call only *Detached paths, and the lone Verify chain is runner->serial()-gated
   static MetricsRegistry registry;
   return registry;
 }

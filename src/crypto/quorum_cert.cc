@@ -89,6 +89,10 @@ Status DecodeCertList(Decoder* dec, std::vector<QuorumCert>* out) {
   uint64_t n = 0;
   BP_RETURN_NOT_OK(dec->GetVarint(&n));
   if (n > 64) return Status::Corruption("oversized cert list");
+  // Reject counts beyond the remaining payload before reserve() turns an
+  // attacker-chosen varint into an allocation (BP011); every encoded
+  // cert is multiple bytes, so this can never reject a valid list.
+  if (n > dec->remaining()) return Status::Corruption("truncated cert list");
   out->clear();
   out->reserve(n);
   for (uint64_t i = 0; i < n; ++i) {

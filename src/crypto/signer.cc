@@ -211,6 +211,10 @@ Status DecodeProof(Decoder* dec, std::vector<Signature>* out) {
   uint64_t n = 0;
   BP_RETURN_NOT_OK(dec->GetVarint(&n));
   if (n > 4096) return Status::Corruption("oversized proof");
+  // Every encoded signature is multiple bytes, so a count beyond the
+  // remaining payload is corrupt — and must be rejected before reserve()
+  // turns an attacker-chosen varint into an allocation (BP011).
+  if (n > dec->remaining()) return Status::Corruption("truncated proof");
   out->clear();
   out->reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
